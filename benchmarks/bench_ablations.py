@@ -1,0 +1,38 @@
+"""Benchmarks for the ablation experiments (DESIGN.md §4).
+
+Each ablation isolates one design choice the paper relies on: the
+binning scheme itself, the successor-list acceleration, the CAN
+transplant, the Pastry comparison and measurement-noise robustness.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_ablation_binning(benchmark):
+    """Random rings vs distributed binning (§2.2 is essential)."""
+    run_experiment_benchmark(benchmark, "ablation_binning")
+
+
+def test_ablation_succlist(benchmark):
+    """Successor-list policies trade hops for top-ring shortcuts."""
+    run_experiment_benchmark(benchmark, "ablation_succlist")
+
+
+def test_ablation_can(benchmark):
+    """HIERAS over CAN vs flat CAN (§3.2 generality)."""
+    run_experiment_benchmark(benchmark, "ablation_can")
+
+
+def test_ablation_pastry(benchmark):
+    """Pastry (PNS) vs Chord vs HIERAS (§6 future work)."""
+    run_experiment_benchmark(benchmark, "ablation_pastry")
+
+
+def test_ablation_noise(benchmark):
+    """Binning under noisy ping measurement (§2.2 robustness)."""
+    run_experiment_benchmark(benchmark, "ablation_noise")
+
+
+def test_ablation_landmark_failure(benchmark):
+    """Landmark failures degrade gracefully (§2.3)."""
+    run_experiment_benchmark(benchmark, "ablation_landmark_failure")

@@ -1,0 +1,14 @@
+"""Benchmark: protocol-stack churn (quantifying §3.3–§3.4).
+
+Delegates to the registered ``churn`` experiment, which replays a
+Poisson churn schedule on the message-level HIERAS protocol and checks
+lookup correctness against the surviving membership — with and without
+injected message loss.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_churn_protocol(benchmark):
+    """HIERAS protocol under churn: lookups stay correct, upkeep bounded."""
+    run_experiment_benchmark(benchmark, "churn")

@@ -1,0 +1,8 @@
+"""Benchmark + check for the quantified §3.4 cost analysis."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_cost_analysis(benchmark):
+    """State and maintenance overheads per hierarchy depth."""
+    run_experiment_benchmark(benchmark, "cost_analysis")

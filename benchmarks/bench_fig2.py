@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact fig2."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig2(benchmark):
+    """Regenerate fig2 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "fig2")

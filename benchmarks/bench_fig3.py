@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact fig3."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig3(benchmark):
+    """Regenerate fig3 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "fig3")

@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact fig4."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig4(benchmark):
+    """Regenerate fig4 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "fig4")

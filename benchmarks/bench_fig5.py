@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact fig5."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig5(benchmark):
+    """Regenerate fig5 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "fig5")

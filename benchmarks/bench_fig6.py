@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact fig6."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig6(benchmark):
+    """Regenerate fig6 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "fig6")

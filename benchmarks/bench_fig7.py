@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact fig7."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig7(benchmark):
+    """Regenerate fig7 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "fig7")

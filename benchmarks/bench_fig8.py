@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact fig8."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig8(benchmark):
+    """Regenerate fig8 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "fig8")

@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact fig9."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig9(benchmark):
+    """Regenerate fig9 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "fig9")

@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact table1."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_table1(benchmark):
+    """Regenerate table1 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "table1")

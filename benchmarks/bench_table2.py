@@ -1,0 +1,8 @@
+"""Benchmark + reproduction check for paper artifact table2."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_table2(benchmark):
+    """Regenerate table2 and assert its paper-shape checks hold."""
+    run_experiment_benchmark(benchmark, "table2")

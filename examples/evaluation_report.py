@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A self-contained evaluation report with error bars and charts.
+
+Demonstrates the analysis toolkit end to end: run a small seed-replicated
+sweep, compute paired bootstrap confidence intervals for the headline
+latency ratio, and render terminal charts — the methodology layer a
+reproduction adds on top of the paper's single-run point estimates.
+
+Run:  python examples/evaluation_report.py
+"""
+
+import numpy as np
+
+from repro.analysis.compare import bootstrap_ratio_ci, compare_means
+from repro.analysis.plots import bar_chart, line_plot, sparkline
+from repro.analysis.stats import collect_routes, hop_pdf
+from repro.analysis.tables import format_table
+from repro.experiments.config import SimConfig
+from repro.experiments.runner import build_bundle, make_trace
+from repro.experiments.sweep import SweepSpec, run_sweep
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. One deployment in depth: paired CI for the latency ratio.
+    # ------------------------------------------------------------------
+    config = SimConfig(model="ts", n_peers=1200, n_landmarks=6, seed=7)
+    bundle = build_bundle(config)
+    trace = make_trace(bundle, 8000)
+    chord = collect_routes(bundle.chord, trace)
+    hieras = collect_routes(bundle.hieras, trace)
+
+    ci = bootstrap_ratio_ci(hieras.latency_ms, chord.latency_ms, seed=1)
+    print(f"{config.n_peers} peers, 6 landmarks, {len(trace)} paired lookups")
+    print(
+        f"HIERAS/Chord latency ratio: {100 * ci.estimate:.1f}% "
+        f"(95% CI [{100 * ci.low:.1f}, {100 * ci.high:.1f}])"
+    )
+    verdict = compare_means(chord.latency_ms, hieras.latency_ms, seed=2)
+    print(
+        f"mean saving per lookup: {verdict['mean_diff']:.0f}ms "
+        f"(significant: {verdict['significant']}, d={verdict['cohens_d']:.2f})"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Hop distribution as a chart (Figure 4's shape).
+    # ------------------------------------------------------------------
+    xs, pdf = hop_pdf(hieras.hops)
+    print()
+    print(bar_chart([f"{h}h" for h in xs], pdf.tolist(), width=40,
+                    title="HIERAS hops per lookup:"))
+
+    # ------------------------------------------------------------------
+    # 3. Seed-replicated mini sweep with a trend chart.
+    # ------------------------------------------------------------------
+    print("\nsweeping landmark counts over 3 seeds...")
+    spec = SweepSpec(
+        models=("ts",), sizes=(1200,), landmarks=(2, 4, 8),
+        depths=(2,), seeds=(7, 8, 9), n_requests=4000,
+    )
+    rows = run_sweep(spec)
+    by_lm: dict[int, list[float]] = {}
+    for row in rows:
+        by_lm.setdefault(int(row["n_landmarks"]), []).append(
+            float(row["latency_ratio_pct"])
+        )
+    summary = [
+        {
+            "landmarks": lm,
+            "ratio_mean_%": round(float(np.mean(vals)), 1),
+            "ratio_std_%": round(float(np.std(vals)), 2),
+            "trend": sparkline(vals),
+        }
+        for lm, vals in sorted(by_lm.items())
+    ]
+    print(format_table(summary))
+    print()
+    print(
+        line_plot(
+            sorted(by_lm),
+            {"latency_ratio_%": [float(np.mean(by_lm[lm])) for lm in sorted(by_lm)]},
+            width=40,
+            height=8,
+            x_label="landmarks",
+            title="latency ratio vs landmark count (3-seed mean):",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: build a HIERAS network and route a few lookups.
+
+Builds a small transit-stub internetwork, attaches 500 peers, bins them
+into lower-layer rings with 4 landmarks (the paper's default), and
+compares a handful of lookups against flat Chord — the 60-second version
+of the paper's whole evaluation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_network
+
+
+def main() -> None:
+    bundle = quick_network(n_peers=500, n_landmarks=4, depth=2, seed=7)
+    hieras = bundle.hieras
+
+    print(f"peers: {hieras.n_peers}")
+    print(f"layer-2 rings: {len(hieras.rings_at_layer(2))} "
+          f"(sizes {sorted(int(s) for s in hieras.ring_sizes(2))})")
+    print()
+
+    print(f"{'key':>12} {'owner id':>12} {'chord':>14} {'hieras':>14}")
+    total_chord = total_hieras = 0.0
+    for key in (42, 10_000, 123_456_789, 2**31, 2**32 - 1):
+        rc = bundle.route_chord(source=0, key=key)
+        rh = bundle.route(source=0, key=key)
+        assert rc.owner == rh.owner, "both stacks must agree on the owner"
+        total_chord += rc.latency_ms
+        total_hieras += rh.latency_ms
+        print(
+            f"{key:>12} {hieras.id_of(rh.owner):>12} "
+            f"{rc.hops:>3} hops {rc.latency_ms:>6.0f}ms "
+            f"{rh.hops:>3} hops {rh.latency_ms:>6.0f}ms"
+        )
+
+    print()
+    print(f"HIERAS total latency: {total_hieras:.0f}ms "
+          f"({100 * total_hieras / total_chord:.0f}% of Chord's {total_chord:.0f}ms)")
+
+    # Where did the HIERAS hops go?  Mostly into cheap lower-ring links.
+    r = bundle.route(source=3, key=987654321)
+    print(f"\nexample route from peer 3: path {r.path}")
+    print(f"hops per layer (lowest→global): {r.hops_per_layer}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package, so modern editable
+installs (`pip install -e .`, which builds an editable wheel) fail with
+"invalid command 'bdist_wheel'".  `python setup.py develop` and this shim
+keep editable installs working; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,126 @@
+"""Statistical comparison utilities: confidence intervals, multi-seed runs.
+
+The paper reports single-run point estimates.  For a reproduction it is
+worth knowing how much of an observed gap is seed noise, so this module
+adds the error bars:
+
+* :func:`bootstrap_ci` — percentile-bootstrap confidence interval for
+  the mean of a metric vector.
+* :func:`bootstrap_ratio_ci` — CI for the ratio of two paired-mean
+  metrics (e.g. HIERAS/Chord latency on the *same* request trace, which
+  is a paired design — resample request indices jointly).
+* :func:`compare_means` — a compact A/B verdict with effect size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.validation import require
+
+__all__ = ["CiResult", "bootstrap_ci", "bootstrap_ratio_ci", "compare_means"]
+
+
+@dataclass(frozen=True)
+class CiResult:
+    """A point estimate with a confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.estimate:.4g} [{self.low:.4g}, {self.high:.4g}] @{self.confidence:.0%}"
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int | np.random.Generator = 0,
+) -> CiResult:
+    """Percentile bootstrap CI for the mean of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    require(len(values) >= 2, "need at least two observations")
+    require(0.5 < confidence < 1.0, "confidence must be in (0.5, 1)")
+    rng = make_rng(seed)
+    idx = rng.integers(0, len(values), size=(n_boot, len(values)))
+    means = values[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return CiResult(
+        estimate=float(values.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def bootstrap_ratio_ci(
+    numerator: np.ndarray,
+    denominator: np.ndarray,
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int | np.random.Generator = 0,
+) -> CiResult:
+    """CI for ``mean(numerator) / mean(denominator)`` with paired samples.
+
+    Both vectors must come from the same request trace (index ``i`` is
+    the same lookup through two systems); resampling indices jointly
+    preserves the pairing, which typically tightens the interval a lot
+    relative to independent resampling.
+    """
+    numerator = np.asarray(numerator, dtype=np.float64)
+    denominator = np.asarray(denominator, dtype=np.float64)
+    require(len(numerator) == len(denominator), "paired vectors must align")
+    require(len(numerator) >= 2, "need at least two observations")
+    require(float(denominator.mean()) != 0.0, "denominator mean is zero")
+    rng = make_rng(seed)
+    idx = rng.integers(0, len(numerator), size=(n_boot, len(numerator)))
+    num_means = numerator[idx].mean(axis=1)
+    den_means = denominator[idx].mean(axis=1)
+    ratios = num_means / den_means
+    alpha = (1.0 - confidence) / 2.0
+    return CiResult(
+        estimate=float(numerator.mean() / denominator.mean()),
+        low=float(np.quantile(ratios, alpha)),
+        high=float(np.quantile(ratios, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def compare_means(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int | np.random.Generator = 0,
+) -> dict[str, float | bool]:
+    """Paired A-vs-B comparison of means.
+
+    Returns the mean difference ``a - b`` with its bootstrap CI and a
+    ``significant`` flag (CI excludes zero), plus Cohen's d on the
+    paired differences as an effect size.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    require(len(a) == len(b), "paired vectors must align")
+    diff = a - b
+    ci = bootstrap_ci(diff, confidence=confidence, n_boot=n_boot, seed=seed)
+    sd = float(diff.std(ddof=1)) if len(diff) > 1 else 0.0
+    return {
+        "mean_diff": ci.estimate,
+        "ci_low": ci.low,
+        "ci_high": ci.high,
+        "significant": not (ci.low <= 0.0 <= ci.high),
+        "cohens_d": ci.estimate / sd if sd > 0 else 0.0,
+    }

@@ -1,0 +1,74 @@
+"""Fixed-width and markdown table rendering for experiment output.
+
+The experiment harness prints the same rows and series the paper's
+tables and figures report; these helpers keep that output aligned and
+diff-friendly (EXPERIMENTS.md embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.util.validation import require
+
+__all__ = ["format_table", "render_series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.4g}"
+        return f"{value:.4g}" if abs(value) < 10 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]],
+    *,
+    headers: Sequence[str] | None = None,
+    markdown: bool = False,
+) -> str:
+    """Render dict rows as an aligned text (or markdown) table.
+
+    Column order follows ``headers`` when given, else the first row's
+    key order.  Missing cells render empty.
+    """
+    require(len(rows) >= 1, "cannot format an empty table")
+    cols = list(headers) if headers is not None else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(cols)
+    ]
+    if markdown:
+        lines = [
+            "| " + " | ".join(c.ljust(w) for c, w in zip(cols, widths)) + " |",
+            "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+        ]
+        lines += [
+            "| " + " | ".join(v.ljust(w) for v, w in zip(r, widths)) + " |" for r in cells
+        ]
+    else:
+        lines = ["  ".join(c.rjust(w) for c, w in zip(cols, widths))]
+        lines.append("  ".join("-" * w for w in widths))
+        lines += ["  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in cells]
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    *,
+    markdown: bool = False,
+) -> str:
+    """Render figure-style series as a table with one row per x value."""
+    require(len(xs) >= 1, "series need at least one x value")
+    for name, ys in series.items():
+        require(len(ys) == len(xs), f"series {name!r} length mismatch")
+    rows = [
+        {x_label: x, **{name: series[name][i] for name in series}}
+        for i, x in enumerate(xs)
+    ]
+    return format_table(rows, headers=[x_label, *series.keys()], markdown=markdown)

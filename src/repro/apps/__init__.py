@@ -1,0 +1,15 @@
+"""Application layer: end-to-end systems built on the library.
+
+The paper motivates DHTs with file-sharing applications (Napster,
+Gnutella, KaZaA — its references [1]–[4]).  This package assembles the
+library's parts into such applications:
+
+* :mod:`repro.apps.filesharing` — a time-stepped file-sharing service:
+  replicated file-location storage over HIERAS (or Chord), Zipf query
+  workload, membership churn with repair, and per-round service
+  metrics.
+"""
+
+from repro.apps.filesharing import FileSharingSystem, RoundMetrics
+
+__all__ = ["FileSharingSystem", "RoundMetrics"]

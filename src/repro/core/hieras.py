@@ -1,0 +1,434 @@
+"""HIERAS: the hierarchical multi-ring DHT network (paper §2–§3).
+
+A :class:`HierasNetwork` is built from the same ingredients as the flat
+:class:`~repro.dht.chord.ChordNetwork` — an id space, one id per peer, a
+latency model — plus the peers' **landmark orders** from the distributed
+binning scheme.  Layer 1 is the single global ring containing everyone;
+each lower layer partitions the peers into rings of nodes sharing a
+landmark order, and every node routes with Chord's rule inside each of
+its rings using a ring-restricted finger table (§3.1, Table 2).
+
+Routing (§3.2) is bottom-up: the lookup runs in the originator's lowest
+ring until it reaches the node that would own the key *in that ring*
+(its ring-successor), climbs one layer, and repeats until the global
+ring delivers it to the key's true owner.  Because any ring containing
+the global owner has the global owner as its ring-successor of the key,
+upper-layer loops naturally contribute zero hops once the owner is
+reached — the paper's early-exit check falls out of the semantics (the
+protocol stack still performs it explicitly to avoid sending messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binning import LandmarkOrders
+from repro.core.ring import RingTableDirectory, ring_id
+from repro.dht.base import DHTNetwork, RouteResult, ZeroLatency
+from repro.dht.ring_array import FingerEntry, SortedRing
+from repro.topology.base import LatencyModel
+from repro.util.ids import IdSpace
+from repro.util.validation import require
+
+__all__ = ["HierasNetwork", "LayeredFingerRow"]
+
+
+@dataclass(frozen=True)
+class LayeredFingerRow:
+    """One row of the paper's Table 2: a finger across every layer.
+
+    ``successors[0]`` is the layer-1 (global) successor; subsequent
+    entries descend through the lower layers.  Each successor is a
+    ``(node_id, peer, ring_name)`` triple — ring name of the successor's
+    own layer-2 ring, as printed in Table 2's parentheses.
+    """
+
+    start: int
+    interval: tuple[int, int]
+    successors: tuple[tuple[int, int, str], ...]
+
+
+class HierasNetwork(DHTNetwork):
+    """The HIERAS overlay over a static set of peers.
+
+    Parameters
+    ----------
+    space, ids, latency:
+        As for :class:`~repro.dht.chord.ChordNetwork`.
+    landmark_orders:
+        Output of :meth:`repro.core.binning.BinningScheme.orders` for
+        these peers (row ``p`` binned peer ``p``).
+    depth:
+        Hierarchy depth ``m`` (layers including the global ring).
+        Defaults to everything the orders provide; may be lowered to
+        study depth effects with one binning pass (paper §4.5).
+    successor_list_r:
+        Length of the per-layer successor list every node maintains
+        (§3.3: "a node must keep a successor-list of its r nearest
+        successors in each layer").  Routing consults it as the §3.2
+        acceleration; 0 disables the shortcut entirely.
+    successor_list_policy:
+        ``"transitions"`` (default) consults successor lists in every
+        loop **above the lowest** — the message enters those loops
+        already close to the key, which is exactly where §3.2 says the
+        lists "accelerate the process"; the cold lowest loop routes
+        with fingers alone, like the flat Chord baseline.  ``"always"``
+        also shortcuts inside the lowest loop and ``"off"`` never does;
+        both are exposed for the acceleration ablation.
+    """
+
+    def __init__(
+        self,
+        space: IdSpace,
+        ids: np.ndarray,
+        *,
+        landmark_orders: LandmarkOrders,
+        latency: LatencyModel | None = None,
+        depth: int | None = None,
+        ring_table_replicas: int = 2,
+        successor_list_r: int = 16,
+        successor_list_policy: str = "transitions",
+    ) -> None:
+        ids = np.asarray(ids, dtype=np.uint64)
+        n = len(ids)
+        require(n >= 1, "need at least one peer")
+        require(len(np.unique(ids)) == n, "node ids must be unique")
+        require(
+            landmark_orders.n_nodes == n,
+            f"landmark orders cover {landmark_orders.n_nodes} nodes, network has {n}",
+        )
+        depth = depth if depth is not None else landmark_orders.depth
+        require(
+            2 <= depth <= landmark_orders.depth,
+            f"depth must be in [2, {landmark_orders.depth}], got {depth}",
+        )
+        require(successor_list_r >= 0, "successor_list_r must be >= 0")
+        require(
+            successor_list_policy in ("transitions", "always", "off"),
+            f"unknown successor_list_policy {successor_list_policy!r}",
+        )
+        self.space = space
+        self.depth = depth
+        self.latency = latency if latency is not None else ZeroLatency()
+        self.orders = landmark_orders
+        self.successor_list_r = successor_list_r
+        self.successor_list_policy = successor_list_policy
+        self._id_of_peer = ids.copy()
+        self._alive = np.ones(n, dtype=bool)
+        # Ring names per peer per lower layer (index 0 → layer 2); kept
+        # as plain object arrays so membership changes can append.
+        self._names = [
+            np.asarray(landmark_orders.names_per_layer[k], dtype=object)
+            for k in range(depth - 1)
+        ]
+        self.directory = RingTableDirectory(space, replicas=ring_table_replicas)
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # construction / membership
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        alive = np.flatnonzero(self._alive)
+        ids = self._id_of_peer[alive]
+        order = np.argsort(ids)
+        self.global_ring = SortedRing(self.space, ids[order], alive[order])
+        n_total = len(self._id_of_peer)
+        self._pos_global = np.full(n_total, -1, dtype=np.int64)
+        self._pos_global[self.global_ring.peers] = np.arange(len(self.global_ring))
+
+        # Lower layers: factorise live peers' ring names, build one
+        # SortedRing per distinct name, record each peer's ring + slot.
+        self._rings: list[list[SortedRing]] = []
+        self._ring_names: list[list[str]] = []
+        self._ring_of_peer = np.full((self.depth - 1, n_total), -1, dtype=np.int64)
+        self._pos_in_ring = np.full((self.depth - 1, n_total), -1, dtype=np.int64)
+        known_names = set(self.directory.names())
+        seen_names: set[str] = set()
+        for k in range(self.depth - 1):
+            live_names = np.asarray([self._names[k][p] for p in alive], dtype=object)
+            uniq, inverse = np.unique(live_names, return_inverse=True)
+            layer_rings: list[SortedRing] = []
+            layer_names: list[str] = []
+            for code, name in enumerate(uniq):
+                members = alive[inverse == code]
+                member_ids = self._id_of_peer[members]
+                srt = np.argsort(member_ids)
+                ring = SortedRing(self.space, member_ids[srt], members[srt])
+                layer_rings.append(ring)
+                layer_names.append(str(name))
+                self._ring_of_peer[k, ring.peers] = code
+                self._pos_in_ring[k, ring.peers] = np.arange(len(ring))
+                self.directory.publish(str(name), ring.ids, ring.peers)
+                seen_names.add(str(name))
+            self._rings.append(layer_rings)
+            self._ring_names.append(layer_names)
+        for stale in known_names - seen_names:
+            self.directory.drop(stale)
+
+    @property
+    def n_peers(self) -> int:
+        """Number of live peers."""
+        return int(self._alive.sum())
+
+    def id_of(self, peer: int) -> int:
+        """Node id of ``peer``."""
+        return int(self._id_of_peer[peer])
+
+    def is_alive(self, peer: int) -> bool:
+        """Whether ``peer`` is currently a member."""
+        return bool(self._alive[peer])
+
+    def add_peer(self, node_id: int, ring_names: list[str]) -> int:
+        """Add a peer (offline equivalent of the §3.3 join protocol).
+
+        ``ring_names`` gives the ring the new node joins at each lower
+        layer (layer 2 first) — i.e. its landmark orders, measured by
+        the caller against the landmark set.
+        """
+        node_id = self.space.validate_id(node_id, name="node_id")
+        require(node_id not in self.global_ring, f"id {node_id} already present")
+        require(
+            len(ring_names) == self.depth - 1,
+            f"need {self.depth - 1} ring names, got {len(ring_names)}",
+        )
+        self._id_of_peer = np.append(self._id_of_peer, np.uint64(node_id))
+        self._alive = np.append(self._alive, True)
+        for k in range(self.depth - 1):
+            self._names[k] = np.append(self._names[k], ring_names[k])
+        self._rebuild()
+        return len(self._id_of_peer) - 1
+
+    def remove_peer(self, peer: int) -> None:
+        """Remove ``peer`` (graceful leave or failure)."""
+        require(bool(self._alive[peer]), f"peer {peer} is not alive")
+        require(self.n_peers > 1, "cannot remove the last peer")
+        self._alive[peer] = False
+        self._rebuild()
+
+    def revive_peer(self, peer: int) -> None:
+        """Bring a removed peer back under its old index and ring names.
+
+        The peer re-enters the rings its landmark orders named (its
+        position on the Internet did not change while it was offline);
+        its node id and latency-model index are retained.
+        """
+        require(not bool(self._alive[peer]), f"peer {peer} is already alive")
+        self._alive[peer] = True
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # ring accessors
+    # ------------------------------------------------------------------
+    def ring_of(self, peer: int, layer: int) -> SortedRing:
+        """The ring ``peer`` belongs to at ``layer`` (1 = global)."""
+        require(1 <= layer <= self.depth, f"layer must be in [1, {self.depth}]")
+        if layer == 1:
+            return self.global_ring
+        code = int(self._ring_of_peer[layer - 2, peer])
+        require(code >= 0, f"peer {peer} is not alive")
+        return self._rings[layer - 2][code]
+
+    def ring_name_of(self, peer: int, layer: int) -> str:
+        """Ring name of ``peer`` at a lower ``layer`` (2..depth)."""
+        require(2 <= layer <= self.depth, f"layer must be in [2, {self.depth}]")
+        return str(self._names[layer - 2][peer])
+
+    def rings_at_layer(self, layer: int) -> dict[str, SortedRing]:
+        """All rings of one lower layer, keyed by ring name."""
+        require(2 <= layer <= self.depth, f"layer must be in [2, {self.depth}]")
+        return dict(zip(self._ring_names[layer - 2], self._rings[layer - 2]))
+
+    def ring_sizes(self, layer: int) -> np.ndarray:
+        """Member counts of the rings at one lower layer."""
+        return np.asarray([len(r) for r in self._rings[layer - 2]], dtype=np.int64)
+
+    def ring_table_host(self, name: str) -> int:
+        """Peer storing ring ``name``'s ring table (§3.1)."""
+        return self.directory.host_of(name, self.global_ring.ids, self.global_ring.peers)
+
+    # ------------------------------------------------------------------
+    # routing (§3.2)
+    # ------------------------------------------------------------------
+    def owner_of(self, key: int) -> int:
+        """Peer responsible for ``key`` — the global successor."""
+        return int(self.global_ring.peers[self.global_ring.successor_pos(key)])
+
+    def route(self, source: int, key: int) -> RouteResult:
+        """Bottom-up hierarchical routing of ``key`` from ``source``.
+
+        One loop per layer, lowest ring first, each running Chord's
+        greedy rule restricted to the current ring's membership.  Lower
+        loops stop at the key's *ring predecessor* — the ring member the
+        key falls immediately after — so the message approaches the key
+        monotonically and never overshoots it (DESIGN.md §5 discusses
+        this reading of the paper's "numerically closest node in this
+        ring").  The final, global loop takes the last hop to the key's
+        owner, exactly like flat Chord's terminating step.
+        """
+        require(bool(self._alive[source]), f"source peer {source} is not alive")
+        key = self.space.wrap(int(key))
+        cur = source
+        path = [source]
+        hops_per_layer: list[int] = []
+        for layer in range(self.depth, 0, -1):
+            ring = self.ring_of(cur, layer)
+            pos = (
+                int(self._pos_global[cur])
+                if layer == 1
+                else int(self._pos_in_ring[layer - 2, cur])
+            )
+            if self.successor_list_policy == "off":
+                r = 0
+            elif self.successor_list_policy == "transitions" and layer == self.depth:
+                r = 0  # cold lowest loop: fingers only, like flat Chord
+            else:
+                r = self.successor_list_r
+            sub = ring.predecessor_route(pos, key, succ_list_r=r)
+            hops = len(sub) - 1
+            for p in sub[1:]:
+                path.append(int(ring.peers[p]))
+            cur = path[-1]
+            if layer == 1:
+                # Terminating step (§3.2): the global predecessor hands
+                # the request to its successor — the key's owner — just
+                # like flat Chord's final hop.
+                owner = self.owner_of(key)
+                if cur != owner:
+                    path.append(owner)
+                    cur = owner
+                    hops += 1
+            hops_per_layer.append(hops)
+        return RouteResult(
+            source=source,
+            key=key,
+            owner=path[-1],
+            path=path,
+            latency_ms=self.route_latency(self.latency, path),
+            hops_per_layer=hops_per_layer,
+        )
+
+    # ------------------------------------------------------------------
+    # inspection (Table 2, §3.4 cost model)
+    # ------------------------------------------------------------------
+    def finger_table(self, peer: int, layer: int) -> list[FingerEntry]:
+        """Materialised finger table of ``peer`` in one layer's ring."""
+        ring = self.ring_of(peer, layer)
+        pos = (
+            int(self._pos_global[peer])
+            if layer == 1
+            else int(self._pos_in_ring[layer - 2, peer])
+        )
+        return ring.finger_table(pos)
+
+    def table2_rows(self, peer: int) -> list[LayeredFingerRow]:
+        """The paper's Table 2 for ``peer``: fingers across all layers.
+
+        Every row pairs the layer-1 successor with the lower-layer
+        successors for the same finger interval; each successor is
+        annotated with its own layer-2 ring name, as in the paper.
+        """
+        tables = [self.finger_table(peer, layer) for layer in range(1, self.depth + 1)]
+        rows = []
+        for entries in zip(*tables):
+            base = entries[0]
+            succ = tuple(
+                (e.node_id, e.peer, self.ring_name_of(e.peer, 2)) for e in entries
+            )
+            rows.append(
+                LayeredFingerRow(start=base.start, interval=base.interval, successors=succ)
+            )
+        return rows
+
+    def distinct_finger_count(self, peer: int, layer: int) -> int:
+        """Number of *distinct* finger nodes of ``peer`` at ``layer``.
+
+        The §3.4 cost discussion notes lower-layer finger tables hold
+        fewer distinct nodes; this is the quantity behind that claim.
+        """
+        return len({e.node_id for e in self.finger_table(peer, layer)})
+
+    def maintenance_summary(self, *, successor_list_len: int = 4, sample: int | None = 64,
+                            seed: int = 0) -> dict[str, float]:
+        """Quantified §3.4 cost model (averages per node).
+
+        Reports, per node: distinct finger-table entries per layer,
+        successor-list entries (one list per layer), and how many ring
+        tables the node hosts.  ``sample`` bounds the number of nodes
+        whose finger tables are materialised (None = all).
+        """
+        rng = np.random.default_rng(seed)
+        peers = self.global_ring.peers
+        if sample is not None and sample < len(peers):
+            peers = rng.choice(peers, size=sample, replace=False)
+        finger_entries = {
+            layer: float(
+                np.mean([self.distinct_finger_count(int(p), layer) for p in peers])
+            )
+            for layer in range(1, self.depth + 1)
+        }
+        hosts: dict[int, int] = {}
+        for name in self.directory.names():
+            h = self.ring_table_host(name)
+            hosts[h] = hosts.get(h, 0) + 1
+        succ_entries = sum(
+            min(successor_list_len, len(self.ring_of(int(peers[0]), layer)) - 1)
+            for layer in range(1, self.depth + 1)
+        )
+        return {
+            "depth": float(self.depth),
+            "n_rings": float(sum(len(layer) for layer in self._rings) + 1),
+            "avg_distinct_fingers_total": float(sum(finger_entries.values())),
+            **{
+                f"avg_distinct_fingers_layer{layer}": v
+                for layer, v in finger_entries.items()
+            },
+            "successor_list_entries": float(succ_entries),
+            "avg_ring_tables_hosted": float(
+                sum(hosts.values()) / max(self.n_peers, 1)
+            ),
+        }
+
+    def ring_id_of(self, name: str) -> int:
+        """Ring id (hash of ring name) in this network's id space."""
+        return ring_id(self.space, name)
+
+    def explain_route(self, source: int, key: int) -> str:
+        """Human-readable per-hop narration of one lookup.
+
+        Shows, for every hop: the layer/ring it ran in, the peers and
+        node ids involved, and the link delay — the debugging view of
+        §3.2's multi-loop procedure.
+        """
+        result = self.route(source, key)
+        lines = [
+            f"route key={self.space.wrap(int(key))} from peer {source} "
+            f"(id {self.id_of(source)}): {result.hops} hops, "
+            f"{result.latency_ms:.0f}ms"
+        ]
+        hop_index = 0
+        layers = list(range(self.depth, 0, -1))
+        for layer, layer_hops in zip(layers, result.hops_per_layer):
+            ring_label = (
+                "global ring"
+                if layer == 1
+                else f'ring "{self.ring_name_of(result.path[hop_index], layer)}"'
+            )
+            if layer_hops == 0:
+                lines.append(f"  layer {layer} ({ring_label}): no hops needed")
+                hop_index += 0
+                continue
+            for _ in range(layer_hops):
+                a = result.path[hop_index]
+                b = result.path[hop_index + 1]
+                delay = self.latency.pair(a, b)
+                lines.append(
+                    f"  layer {layer} ({ring_label}): peer {a} (id {self.id_of(a)})"
+                    f" -> peer {b} (id {self.id_of(b)})  {delay:.0f}ms"
+                )
+                hop_index += 1
+        lines.append(
+            f"  owner: peer {result.owner} (id {self.id_of(result.owner)})"
+        )
+        return "\n".join(lines)

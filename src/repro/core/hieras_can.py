@@ -1,0 +1,130 @@
+"""HIERAS over CAN (paper §3.2's sketched generalisation).
+
+    "if we use CAN as the underlying algorithm, the whole coordinate
+    space can be divided multiple times in different layers, we can
+    create multilayer neighbor sets accordingly and use these neighbor
+    sets in different loops during a routing procedure."
+
+Concretely: every lower-layer ring's members build their **own** CAN
+over the full coordinate torus (the space is "divided multiple times"),
+so each node owns one zone per layer and keeps one neighbour set per
+layer.  A lookup routes greedily in the originator's lowest-layer CAN
+until it reaches the member whose *ring-layer* zone contains the key's
+point, then continues in that node's next-layer CAN, finishing in the
+global CAN at the key's true owner.  Unlike the ring case there is no
+overshoot subtlety: geometric distance to the target point decreases
+monotonically across layers because every layer's stopping node's zone
+contains the point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.binning import LandmarkOrders
+from repro.dht.base import DHTNetwork, RouteResult, ZeroLatency
+from repro.dht.can import CanNetwork, CanParams, key_point
+from repro.topology.base import LatencyModel
+from repro.util.validation import require
+
+__all__ = ["HierasCanNetwork"]
+
+
+class HierasCanNetwork(DHTNetwork):
+    """Multi-layer CAN: one coordinate-space division per layer."""
+
+    def __init__(
+        self,
+        n_peers: int,
+        *,
+        landmark_orders: LandmarkOrders,
+        params: CanParams | None = None,
+        latency: LatencyModel | None = None,
+        depth: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        require(n_peers >= 1, "need at least one peer")
+        require(
+            landmark_orders.n_nodes == n_peers,
+            f"landmark orders cover {landmark_orders.n_nodes} nodes, network has {n_peers}",
+        )
+        depth = depth if depth is not None else landmark_orders.depth
+        require(
+            2 <= depth <= landmark_orders.depth,
+            f"depth must be in [2, {landmark_orders.depth}], got {depth}",
+        )
+        self.params = params or CanParams()
+        self.latency = latency if latency is not None else ZeroLatency()
+        self.depth = depth
+        self.orders = landmark_orders
+        self._n = n_peers
+
+        self.global_can = CanNetwork(
+            np.arange(n_peers), params=self.params, latency=self.latency, seed=seed
+        )
+        # One CAN per ring per lower layer; peers keep their global
+        # indices inside each ring CAN.
+        self._layer_cans: list[list[CanNetwork]] = []
+        self._ring_of_peer = np.full((depth - 1, n_peers), -1, dtype=np.int64)
+        for k in range(depth - 1):
+            codes, names = landmark_orders.ring_codes(k)
+            cans: list[CanNetwork] = []
+            for code in range(len(names)):
+                members = np.flatnonzero(codes == code)
+                cans.append(
+                    CanNetwork(
+                        members,
+                        params=self.params,
+                        latency=self.latency,
+                        seed=seed * 1_000_003 + k * 1009 + code,
+                    )
+                )
+                self._ring_of_peer[k, members] = code
+            self._layer_cans.append(cans)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_peers(self) -> int:
+        """Number of peers."""
+        return self._n
+
+    def can_of(self, peer: int, layer: int) -> CanNetwork:
+        """The CAN ``peer`` belongs to at ``layer`` (1 = global)."""
+        require(1 <= layer <= self.depth, f"layer must be in [1, {self.depth}]")
+        if layer == 1:
+            return self.global_can
+        code = int(self._ring_of_peer[layer - 2, peer])
+        return self._layer_cans[layer - 2][code]
+
+    def owner_of(self, key: int) -> int:
+        """Peer owning ``key`` in the global CAN."""
+        return self.global_can.owner_of(key)
+
+    def neighbor_state_size(self, peer: int) -> int:
+        """Total neighbour-set entries across layers (§3.4 cost)."""
+        return sum(
+            self.can_of(peer, layer).neighbor_count(peer)
+            for layer in range(1, self.depth + 1)
+        )
+
+    # ------------------------------------------------------------------
+    def route(self, source: int, key: int) -> RouteResult:
+        """Bottom-up routing through the layered CANs."""
+        point = key_point(int(key), self.params.dimensions)
+        cur = source
+        path = [source]
+        hops_per_layer: list[int] = []
+        for layer in range(self.depth, 0, -1):
+            can = self.can_of(cur, layer)
+            sub = can.route_to_point(cur, point)
+            hops_per_layer.append(len(sub) - 1)
+            path.extend(sub[1:])
+            cur = path[-1]
+        return RouteResult(
+            source=source,
+            key=int(key),
+            owner=path[-1],
+            path=path,
+            latency_ms=self.route_latency(self.latency, path),
+            hops_per_layer=hops_per_layer,
+        )

@@ -1,0 +1,112 @@
+"""Common DHT abstractions: route results and the network interface.
+
+Every routing stack in the repository (flat Chord, CAN, Pastry, HIERAS
+over either substrate) produces :class:`RouteResult` records, so the
+analysis and experiment layers are substrate-agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.base import LatencyModel
+
+__all__ = ["RouteResult", "DHTNetwork", "ZeroLatency"]
+
+
+class ZeroLatency(LatencyModel):
+    """Latency model that reports 0 ms for every pair.
+
+    Useful when only hop counts matter (several unit tests) or when no
+    topology is attached to a network.
+    """
+
+    def pair(self, u: int, v: int) -> float:
+        return 0.0
+
+    def pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        return np.zeros(len(np.asarray(us)), dtype=np.float64)
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one key from one source peer.
+
+    Attributes
+    ----------
+    source:
+        Originating peer index.
+    key:
+        The looked-up identifier.
+    owner:
+        Peer index of the node responsible for ``key`` (the global
+        successor of the key for ring DHTs).
+    path:
+        Peer indices visited, starting with ``source`` and ending with
+        ``owner``; ``len(path) - 1`` message forwards were taken.
+    latency_ms:
+        Sum of per-hop link delays along ``path``.
+    hops_per_layer:
+        For hierarchical routing, hops taken in each layer, ordered from
+        the **lowest** layer (searched first) up to layer 1 (the global
+        ring).  Flat DHTs report a single-element list.
+    """
+
+    source: int
+    key: int
+    owner: int
+    path: list[int]
+    latency_ms: float
+    hops_per_layer: list[int] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        """Number of message forwards (``len(path) - 1``)."""
+        return len(self.path) - 1
+
+    @property
+    def low_layer_hops(self) -> int:
+        """Hops taken below the global ring (0 for flat DHTs)."""
+        if len(self.hops_per_layer) <= 1:
+            return 0
+        return sum(self.hops_per_layer[:-1])
+
+    @property
+    def top_layer_hops(self) -> int:
+        """Hops taken in the global (highest) ring."""
+        if not self.hops_per_layer:
+            return self.hops
+        return self.hops_per_layer[-1]
+
+
+class DHTNetwork(ABC):
+    """Interface every routing stack implements.
+
+    Peers are integers ``0..n_peers-1``; keys live in the network's
+    identifier space.  ``route`` must be deterministic given the
+    network state.
+    """
+
+    @property
+    @abstractmethod
+    def n_peers(self) -> int:
+        """Current number of peers."""
+
+    @abstractmethod
+    def owner_of(self, key: int) -> int:
+        """Peer index responsible for ``key``."""
+
+    @abstractmethod
+    def route(self, source: int, key: int) -> RouteResult:
+        """Route ``key`` starting from peer ``source``."""
+
+    # ------------------------------------------------------------------
+    def route_latency(self, latency: LatencyModel, path: list[int]) -> float:
+        """Sum link delays along a peer path (vectorised)."""
+        if len(path) < 2:
+            return 0.0
+        arr = np.asarray(path, dtype=np.int64)
+        return float(latency.pairs(arr[:-1], arr[1:]).sum())

@@ -1,0 +1,362 @@
+"""CAN: a d-dimensional Content-Addressable Network (paper reference [8]).
+
+The paper sketches HIERAS over CAN (§3.2): "the whole coordinate space
+can be divided multiple times in different layers, we can create
+multilayer neighbor sets accordingly".  This module provides the flat
+CAN substrate that :mod:`repro.core.hieras_can` layers.
+
+Construction follows the CAN paper: members join one at a time; each
+joiner hashes to a random point, the current owner of that point splits
+its zone in half along the next dimension in its round-robin split
+order, and the joiner takes the half containing the join point.  Keys
+hash to points; a key's owner is the zone containing its point.
+Routing is greedy geometric forwarding: each node hands the message to
+the neighbour zone closest (torus distance to the zone's nearest point)
+to the target.
+
+The implementation is array-backed and static-membership like
+:class:`~repro.dht.chord.ChordNetwork`; peers are indices aligned with
+the latency model, and a CAN can be built over any peer subset (HIERAS
+builds one per ring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dht.base import DHTNetwork, RouteResult, ZeroLatency
+from repro.topology.base import LatencyModel
+from repro.util.ids import sha1_int
+from repro.util.rng import make_rng
+from repro.util.validation import require
+
+__all__ = ["CanParams", "CanNetwork", "key_point", "peer_point", "COORD_BITS", "COORD_MAX"]
+
+#: Fixed-point resolution of each coordinate (coordinates are integers
+#: in ``[0, 2**COORD_BITS)``, avoiding float zone-boundary ambiguity).
+COORD_BITS = 30
+COORD_MAX = 1 << COORD_BITS
+
+
+@dataclass(frozen=True)
+class CanParams:
+    """Structural parameters of a CAN."""
+
+    dimensions: int = 2
+
+    def __post_init__(self) -> None:
+        require(1 <= self.dimensions <= 8, "dimensions must be in [1, 8]")
+
+
+def key_point(key: int, dims: int) -> np.ndarray:
+    """Deterministically hash a key to a point on the coordinate torus."""
+    return np.asarray(
+        [sha1_int(f"can:{key}:{d}", COORD_BITS) for d in range(dims)], dtype=np.int64
+    )
+
+
+def peer_point(peer: int, dims: int) -> np.ndarray:
+    """A peer's canonical join point on the torus.
+
+    Deterministic per peer so that a node joining *several* CANs (one
+    per HIERAS layer) lands at the same point in each: its zones then
+    all contain that point, which is what makes the bottom-up layered
+    routing geometric — the node that owns the key's point in a lower
+    ring is guaranteed to own nearby space in the next layer too.
+    """
+    return np.asarray(
+        [sha1_int(f"can-node:{peer}:{d}", COORD_BITS) for d in range(dims)],
+        dtype=np.int64,
+    )
+
+
+def _torus_gap(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise torus distance between coordinates ``a`` and ``b``."""
+    d = np.abs(a - b)
+    return np.minimum(d, COORD_MAX - d)
+
+
+class CanNetwork(DHTNetwork):
+    """A CAN overlay over a static set of peers.
+
+    Parameters
+    ----------
+    peers:
+        Peer indices participating in this CAN (any subset of the
+        global peer universe).
+    params, latency:
+        Dimensionality and per-hop delay source.
+    seed:
+        Drives the join order (join *points* are each peer's
+        deterministic :func:`peer_point`); the same seed reproduces the
+        same zone tree.
+    """
+
+    def __init__(
+        self,
+        peers: np.ndarray,
+        *,
+        params: CanParams | None = None,
+        latency: LatencyModel | None = None,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        peers = np.asarray(peers, dtype=np.int64)
+        require(len(peers) >= 1, "need at least one peer")
+        require(len(np.unique(peers)) == len(peers), "peer indices must be unique")
+        self.params = params or CanParams()
+        self.latency = latency if latency is not None else ZeroLatency()
+        self.peers = peers
+        rng = make_rng(seed)
+        d = self.params.dimensions
+        n = len(peers)
+
+        # Zone bounds per member slot: [lo, hi) along each dimension.
+        lo = np.zeros((n, d), dtype=np.int64)
+        hi = np.zeros((n, d), dtype=np.int64)
+        next_split = np.zeros(n, dtype=np.int64)
+        join_order = rng.permutation(n)
+        first = int(join_order[0])
+        hi[first, :] = COORD_MAX
+
+        occupied = [first]
+        for slot in join_order[1:]:
+            slot = int(slot)
+            point = peer_point(int(peers[slot]), d)
+            owner = self._owner_among(point, np.asarray(occupied), lo, hi)
+            dim = int(next_split[owner])
+            mid = (lo[owner, dim] + hi[owner, dim]) // 2
+            lo[slot] = lo[owner]
+            hi[slot] = hi[owner]
+            if point[dim] >= mid:  # joiner takes the half with its point
+                lo[slot, dim] = mid
+                hi[owner, dim] = mid
+            else:
+                hi[slot, dim] = mid
+                lo[owner, dim] = mid
+            next_split[owner] = (dim + 1) % d
+            next_split[slot] = (dim + 1) % d
+            occupied.append(slot)
+
+        self._lo = lo
+        self._hi = hi
+        self._next_split = next_split
+        self._neighbors = self._build_neighbors()
+        self._slot_of_peer = {int(p): i for i, p in enumerate(peers)}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _owner_among(
+        point: np.ndarray, slots: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> int:
+        inside = np.all((lo[slots] <= point) & (point < hi[slots]), axis=1)
+        idx = np.flatnonzero(inside)
+        assert len(idx) == 1, "zones must partition the space"
+        return int(slots[idx[0]])
+
+    def _build_neighbors(self) -> list[np.ndarray]:
+        """Adjacency: zones abutting along one axis, overlapping in all others."""
+        lo, hi = self._lo, self._hi
+        n, d = lo.shape
+        # touch[k][i, j]: zones i, j abut along axis k (incl. torus wrap);
+        # overlap[k][i, j]: open intervals overlap along axis k.
+        touch = []
+        overlap = []
+        for k in range(d):
+            a0 = lo[:, k][:, None]
+            a1 = hi[:, k][:, None]
+            b0 = lo[:, k][None, :]
+            b1 = hi[:, k][None, :]
+            t = (a1 == b0) | (b1 == a0)
+            if n > 1:
+                t |= ((a1 == COORD_MAX) & (b0 == 0)) | ((b1 == COORD_MAX) & (a0 == 0))
+            touch.append(t)
+            overlap.append((a0 < b1) & (b0 < a1))
+        adjacency = np.zeros((n, n), dtype=bool)
+        for k in range(d):
+            cond = touch[k].copy()
+            for other in range(d):
+                if other != k:
+                    cond &= overlap[other]
+            adjacency |= cond
+        np.fill_diagonal(adjacency, False)
+        return [np.flatnonzero(adjacency[i]) for i in range(n)]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_peers(self) -> int:
+        """Number of CAN members."""
+        return len(self.peers)
+
+    def zone_of_slot(self, slot: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(lo, hi)`` bounds of the member at internal ``slot``."""
+        return self._lo[slot].copy(), self._hi[slot].copy()
+
+    def slot_of_peer(self, peer: int) -> int:
+        """Internal slot of a peer index (KeyError if absent)."""
+        return self._slot_of_peer[int(peer)]
+
+    def _owner_slot(self, point: np.ndarray) -> int:
+        inside = np.all((self._lo <= point) & (point < self._hi), axis=1)
+        idx = np.flatnonzero(inside)
+        assert len(idx) == 1, "zones must partition the space"
+        return int(idx[0])
+
+    def owner_of(self, key: int) -> int:
+        """Peer owning ``key``'s point."""
+        return int(self.peers[self._owner_slot(key_point(key, self.params.dimensions))])
+
+    def owner_of_point(self, point: np.ndarray) -> int:
+        """Peer owning an explicit coordinate point."""
+        return int(self.peers[self._owner_slot(point)])
+
+    # ------------------------------------------------------------------
+    def _zone_distance_sq(self, slots: np.ndarray, point: np.ndarray) -> np.ndarray:
+        """Squared torus distance from ``point`` to each zone's nearest point."""
+        lo = self._lo[slots]
+        hi = self._hi[slots]
+        inside = (lo <= point) & (point < hi)
+        gap_lo = _torus_gap(lo, point)
+        gap_hi = _torus_gap(hi - 1, point)
+        per_dim = np.where(inside, 0.0, np.minimum(gap_lo, gap_hi).astype(np.float64))
+        return (per_dim**2).sum(axis=1)
+
+    def route_to_point(self, source: int, point: np.ndarray) -> list[int]:
+        """Greedy geometric route (peer path) to ``point``'s owner."""
+        slot = self.slot_of_peer(source)
+        target = self._owner_slot(point)
+        path = [slot]
+        guard = 4 * len(self.peers) + 8
+        while slot != target:
+            nbrs = self._neighbors[slot]
+            dists = self._zone_distance_sq(nbrs, point)
+            slot = int(nbrs[int(np.argmin(dists))])
+            path.append(slot)
+            require(len(path) <= guard, "CAN routing failed to converge")
+        return [int(self.peers[s]) for s in path]
+
+    def route(self, source: int, key: int) -> RouteResult:
+        """Greedy CAN routing of ``key`` from ``source``."""
+        point = key_point(key, self.params.dimensions)
+        path = self.route_to_point(source, point)
+        return RouteResult(
+            source=source,
+            key=int(key),
+            owner=path[-1],
+            path=path,
+            latency_ms=self.route_latency(self.latency, path),
+            hops_per_layer=[len(path) - 1],
+        )
+
+    def neighbor_count(self, peer: int) -> int:
+        """Size of a member's neighbour set (CAN's per-node state)."""
+        return len(self._neighbors[self.slot_of_peer(peer)])
+
+    # ------------------------------------------------------------------
+    # membership (CAN node operations)
+    # ------------------------------------------------------------------
+    def add_peer(self, peer: int) -> None:
+        """A new peer joins at its canonical point (CAN's join).
+
+        The current owner of the point splits its zone along its next
+        split dimension and the joiner takes the half containing the
+        point — the same rule the constructor applies, so incremental
+        joins and batch construction produce the same kind of zone tree.
+        """
+        peer = int(peer)
+        require(peer not in self._slot_of_peer, f"peer {peer} already a member")
+        d = self.params.dimensions
+        point = peer_point(peer, d)
+        owner = self._owner_slot(point)
+        dim = int(self._next_split[owner])
+        mid = (self._lo[owner, dim] + self._hi[owner, dim]) // 2
+        require(
+            mid > self._lo[owner, dim],
+            "zone too small to split (coordinate resolution exhausted)",
+        )
+        new_lo = self._lo[owner].copy()
+        new_hi = self._hi[owner].copy()
+        if point[dim] >= mid:
+            new_lo[dim] = mid
+            self._hi[owner, dim] = mid
+        else:
+            new_hi[dim] = mid
+            self._lo[owner, dim] = mid
+        self._lo = np.vstack([self._lo, new_lo])
+        self._hi = np.vstack([self._hi, new_hi])
+        self._next_split[owner] = (dim + 1) % d
+        self._next_split = np.append(self._next_split, (dim + 1) % d)
+        self.peers = np.append(self.peers, peer)
+        self._slot_of_peer[peer] = len(self.peers) - 1
+        self._neighbors = self._build_neighbors()
+
+    def remove_peer(self, peer: int) -> bool:
+        """A peer departs; its zone is taken over (CAN's recovery).
+
+        If some neighbour's zone is the departing zone's *perfect
+        sibling* (identical bounds except along one axis where the two
+        abut and have equal extent), the sibling absorbs the zone — the
+        common case in CAN's binary split tree, and what CAN's takeover
+        converges to.  Otherwise membership is rebuilt from scratch:
+        the simulator's stand-in for CAN's background zone-reassignment
+        defragmentation.  Returns True when a sibling merge happened.
+        """
+        slot = self.slot_of_peer(peer)
+        require(len(self.peers) > 1, "cannot remove the last member")
+        merged = False
+        d = self.params.dimensions
+        for nbr in self._neighbors[slot]:
+            nbr = int(nbr)
+            diff_dims = [
+                k
+                for k in range(d)
+                if self._lo[slot, k] != self._lo[nbr, k]
+                or self._hi[slot, k] != self._hi[nbr, k]
+            ]
+            if len(diff_dims) != 1:
+                continue
+            k = diff_dims[0]
+            if self._hi[slot, k] == self._lo[nbr, k] or self._hi[nbr, k] == self._lo[slot, k]:
+                lo = min(self._lo[slot, k], self._lo[nbr, k])
+                hi = max(self._hi[slot, k], self._hi[nbr, k])
+                self._lo[nbr, k] = lo
+                self._hi[nbr, k] = hi
+                merged = True
+                self._drop_slot(slot)
+                break
+        if not merged:
+            survivors = self.peers[np.arange(len(self.peers)) != slot]
+            rebuilt = CanNetwork(
+                survivors, params=self.params, latency=self.latency, seed=0
+            )
+            self.peers = rebuilt.peers
+            self._lo = rebuilt._lo
+            self._hi = rebuilt._hi
+            self._next_split = rebuilt._next_split
+            self._slot_of_peer = rebuilt._slot_of_peer
+            self._neighbors = rebuilt._neighbors
+        return merged
+
+    def _drop_slot(self, slot: int) -> None:
+        keep = np.arange(len(self.peers)) != slot
+        self.peers = self.peers[keep]
+        self._lo = self._lo[keep]
+        self._hi = self._hi[keep]
+        self._next_split = self._next_split[keep]
+        self._slot_of_peer = {int(p): i for i, p in enumerate(self.peers)}
+        self._neighbors = self._build_neighbors()
+
+    def total_volume(self) -> int:
+        """Sum of zone volumes — must equal the full torus volume.
+
+        Computed with Python ints: volumes reach ``2**(30*d)`` and would
+        overflow int64 beyond two dimensions.
+        """
+        total = 0
+        for slot in range(len(self.peers)):
+            vol = 1
+            for dim in range(self.params.dimensions):
+                vol *= int(self._hi[slot, dim] - self._lo[slot, dim])
+            total += vol
+        return total

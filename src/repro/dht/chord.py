@@ -1,0 +1,176 @@
+"""Chord: the flat DHT baseline and HIERAS's underlying algorithm.
+
+This is the trace-driven (array-backed) Chord: membership is a snapshot,
+routing walks finger tables exactly as Stoica et al. define them (and as
+the paper's baseline does), and per-hop latencies come from a
+:class:`~repro.topology.base.LatencyModel`.  The message-level protocol
+variant (join, stabilize, fix-fingers on the discrete-event engine)
+lives in :mod:`repro.dht.chord_protocol`; integration tests assert both
+make identical next-hop choices on identical memberships.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dht.base import DHTNetwork, RouteResult, ZeroLatency
+from repro.dht.ring_array import FingerEntry, SortedRing
+from repro.topology.base import LatencyModel
+from repro.util.ids import IdSpace
+from repro.util.validation import require
+
+__all__ = ["ChordNetwork"]
+
+
+class ChordNetwork(DHTNetwork):
+    """A Chord overlay over a static set of peers.
+
+    Parameters
+    ----------
+    space:
+        Identifier space.
+    ids:
+        One id per peer; ``ids[p]`` is peer ``p``'s node id.  Ids must
+        be unique (Chord assumes collision-free hashing).
+    latency:
+        Peer-indexed latency model; defaults to zero latency (hop
+        counting only).
+
+    Notes
+    -----
+    Peer indices are stable handles: :meth:`remove_peer` keeps indices
+    of remaining peers unchanged, and :meth:`add_peer` appends a new
+    index.  The ring view is rebuilt on membership change (O(n log n)),
+    which is the right trade-off for the trace-driven stack where
+    memberships change rarely but routing runs millions of times.
+    """
+
+    def __init__(
+        self,
+        space: IdSpace,
+        ids: np.ndarray,
+        *,
+        latency: LatencyModel | None = None,
+        successor_list_r: int = 0,
+    ) -> None:
+        ids = np.asarray(ids, dtype=np.uint64)
+        require(len(ids) >= 1, "need at least one peer")
+        require(len(np.unique(ids)) == len(ids), "node ids must be unique")
+        require(successor_list_r >= 0, "successor_list_r must be >= 0")
+        self.space = space
+        self.latency = latency if latency is not None else ZeroLatency()
+        # The paper's Chord baseline routes with fingers only (its hop
+        # counts match plain greedy Chord), so the successor-list
+        # shortcut defaults off here; ablations can enable it for a
+        # like-for-like comparison with HIERAS's accelerated loops.
+        self.successor_list_r = successor_list_r
+        self._id_of_peer = ids.copy()
+        self._alive = np.ones(len(ids), dtype=bool)
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        alive_peers = np.flatnonzero(self._alive)
+        alive_ids = self._id_of_peer[alive_peers]
+        order = np.argsort(alive_ids)
+        self.ring = SortedRing(self.space, alive_ids[order], alive_peers[order])
+        self._pos_of_peer = np.full(len(self._id_of_peer), -1, dtype=np.int64)
+        self._pos_of_peer[self.ring.peers] = np.arange(len(self.ring))
+
+    @property
+    def n_peers(self) -> int:
+        """Number of live peers."""
+        return int(self._alive.sum())
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Sorted ids of live peers."""
+        return self.ring.ids
+
+    def id_of(self, peer: int) -> int:
+        """Node id of peer ``peer``."""
+        return int(self._id_of_peer[peer])
+
+    def is_alive(self, peer: int) -> bool:
+        """Whether ``peer`` is currently a member."""
+        return bool(self._alive[peer])
+
+    def add_peer(self, node_id: int) -> int:
+        """Add a peer with ``node_id``; returns its new peer index."""
+        node_id = self.space.validate_id(node_id, name="node_id")
+        require(
+            node_id not in self.ring, f"id {node_id} already present"
+        )
+        self._id_of_peer = np.append(self._id_of_peer, np.uint64(node_id))
+        self._alive = np.append(self._alive, True)
+        self._rebuild()
+        return len(self._id_of_peer) - 1
+
+    def remove_peer(self, peer: int) -> None:
+        """Remove ``peer`` from the overlay (graceful leave or failure)."""
+        require(bool(self._alive[peer]), f"peer {peer} is not alive")
+        require(self.n_peers > 1, "cannot remove the last peer")
+        self._alive[peer] = False
+        self._rebuild()
+
+    def revive_peer(self, peer: int) -> None:
+        """Bring a previously-removed peer back under its old index.
+
+        A rejoining host keeps its identity (node id, attachment router
+        — and therefore its latency-model index), so churn simulations
+        revive rather than append; :meth:`add_peer` is for genuinely new
+        peers.
+        """
+        require(not bool(self._alive[peer]), f"peer {peer} is already alive")
+        self._alive[peer] = True
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def owner_of(self, key: int) -> int:
+        """Peer responsible for ``key`` (successor of the key)."""
+        return int(self.ring.peers[self.ring.successor_pos(key)])
+
+    def route(self, source: int, key: int) -> RouteResult:
+        """Greedy finger-table routing from ``source`` to ``key``'s owner."""
+        require(bool(self._alive[source]), f"source peer {source} is not alive")
+        key = self.space.wrap(int(key))
+        positions = self.ring.greedy_route(
+            int(self._pos_of_peer[source]), key, succ_list_r=self.successor_list_r
+        )
+        path = [int(self.ring.peers[p]) for p in positions]
+        return RouteResult(
+            source=source,
+            key=key,
+            owner=path[-1],
+            path=path,
+            latency_ms=self.route_latency(self.latency, path),
+            hops_per_layer=[len(path) - 1],
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def finger_table(self, peer: int) -> list[FingerEntry]:
+        """Materialised finger table of ``peer`` (paper Table 2 layout)."""
+        return self.ring.finger_table(int(self._pos_of_peer[peer]))
+
+    def successor(self, peer: int) -> int:
+        """Peer index of ``peer``'s immediate successor."""
+        pos = self.ring.successor_of_pos(int(self._pos_of_peer[peer]))
+        return int(self.ring.peers[pos])
+
+    def predecessor(self, peer: int) -> int:
+        """Peer index of ``peer``'s immediate predecessor."""
+        pos = self.ring.predecessor_of_pos(int(self._pos_of_peer[peer]))
+        return int(self.ring.peers[pos])
+
+    def successor_list(self, peer: int, r: int) -> list[int]:
+        """Peer indices of ``peer``'s ``r`` nearest successors."""
+        return [
+            int(self.ring.peers[p])
+            for p in self.ring.successor_list(int(self._pos_of_peer[peer]), r)
+        ]

@@ -1,0 +1,257 @@
+"""Array-backed Chord ring: the shared greedy-routing primitive.
+
+A :class:`SortedRing` is an immutable snapshot of a set of peers placed
+on a circular identifier space, stored as a sorted id array.  It
+implements exactly Chord's routing rule — *final hop to the successor
+when the key falls in ``(current, successor]``, otherwise forward to the
+closest preceding finger* — but parameterised by the member set, which
+is what HIERAS needs: every P2P ring at every layer routes with the same
+rule over its own membership (§3.2: "the same underlying DHT routing
+algorithm keeps being used in different layer rings with the
+corresponding finger table").
+
+Finger semantics: node ``n``'s ``i``-th finger is the ring's successor
+of ``n + 2**(i-1)`` *restricted to ring members*, exactly how the paper
+builds lower-layer finger tables (§3.1, Table 2).  Rather than
+materialising every table, the ring answers finger queries with binary
+search on the sorted id array — bit-for-bit the same next-hop choice,
+two orders of magnitude less memory, which is what makes paper-scale
+sweeps tractable.  (:meth:`SortedRing.finger_table` materialises a
+table on demand for inspection and for the Table 2 reproduction.)
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.ids import IdSpace
+from repro.util.validation import require
+
+__all__ = ["SortedRing", "FingerEntry"]
+
+
+@dataclass(frozen=True)
+class FingerEntry:
+    """One row of a materialised finger table (paper Table 2)."""
+
+    index: int  # 1-based finger index
+    start: int  # n + 2**(index-1) mod 2**bits
+    interval: tuple[int, int]  # [start, next_start)
+    node_id: int  # ring successor of `start`
+    peer: int  # peer index of that successor
+
+
+class SortedRing:
+    """Immutable sorted-id view of a ring's membership with Chord routing.
+
+    Parameters
+    ----------
+    space:
+        The identifier space shared by all rings of a network.
+    ids:
+        Sorted, unique member ids (``uint64``-compatible).
+    peers:
+        Peer indices aligned with ``ids`` (peer ``peers[i]`` owns id
+        ``ids[i]``).
+    """
+
+    __slots__ = ("space", "ids", "peers", "_idlist", "_size", "_n")
+
+    def __init__(self, space: IdSpace, ids: np.ndarray, peers: np.ndarray) -> None:
+        ids = np.asarray(ids, dtype=np.uint64)
+        peers = np.asarray(peers, dtype=np.int64)
+        require(len(ids) == len(peers), "ids and peers must align")
+        require(len(ids) >= 1, "a ring needs at least one member")
+        if len(ids) > 1:
+            require(bool(np.all(ids[1:] > ids[:-1])), "ids must be sorted and unique")
+        require(int(ids[-1]) < space.size, "id out of space")
+        self.space = space
+        self.ids = ids
+        self.peers = peers
+        self._idlist: list[int] = [int(v) for v in ids]  # fast scalar bisect
+        self._size = space.size
+        self._n = len(ids)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, node_id: int) -> bool:
+        i = bisect_left(self._idlist, int(node_id))
+        return i < self._n and self._idlist[i] == int(node_id)
+
+    def pos_of_id(self, node_id: int) -> int:
+        """Position of an exact member id (raises if absent)."""
+        i = bisect_left(self._idlist, int(node_id))
+        if i == self._n or self._idlist[i] != int(node_id):
+            raise KeyError(f"id {node_id} is not a ring member")
+        return i
+
+    def successor_pos(self, key: int) -> int:
+        """Position of the ring member owning ``key`` (successor of key)."""
+        i = bisect_left(self._idlist, int(key) % self._size)
+        return 0 if i == self._n else i
+
+    def successor_of_pos(self, pos: int) -> int:
+        """Position following ``pos`` clockwise."""
+        return (pos + 1) % self._n
+
+    def predecessor_of_pos(self, pos: int) -> int:
+        """Position preceding ``pos`` clockwise."""
+        return (pos - 1) % self._n
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def next_hop(self, cur_pos: int, key: int) -> int:
+        """Chord's next hop from member ``cur_pos`` towards ``key``.
+
+        Final-hop rule first (key in ``(cur, successor]`` → successor),
+        otherwise the closest preceding finger: the highest finger whose
+        *ring* successor still precedes the key.
+        """
+        size = self._size
+        idlist = self._idlist
+        n = self._n
+        cur_id = idlist[cur_pos]
+        d = (key - cur_id) % size
+        if d == 0:
+            return cur_pos
+        succ_pos = cur_pos + 1 if cur_pos + 1 < n else 0
+        dsucc = (idlist[succ_pos] - cur_id) % size
+        if d <= dsucc:
+            return succ_pos
+        # Closest preceding finger: largest i with finger start
+        # cur + 2**i inside (cur, key), whose ring successor is still
+        # strictly inside (cur, key).
+        for i in range((d - 1).bit_length() - 1, -1, -1):
+            start = (cur_id + (1 << i)) % size
+            j = bisect_left(idlist, start)
+            fpos = 0 if j == n else j
+            fd = (idlist[fpos] - cur_id) % size
+            if 0 < fd < d:
+                return fpos
+        return succ_pos  # unreachable: finger i=0 is the successor
+
+    def greedy_route(self, start_pos: int, key: int, *, succ_list_r: int = 0) -> list[int]:
+        """Positions visited routing ``key`` from ``start_pos``.
+
+        Ends at the ring member owning ``key``; the start position is
+        included, so hops taken = ``len(result) - 1``.
+
+        ``succ_list_r > 0`` lets every node additionally consult its
+        successor list of ``r`` entries: whenever the owner is within
+        the current node's list, the message jumps to it in one hop
+        (the §3.2 "predecessor and successor lists can be used to
+        accelerate the process" optimisation).
+        """
+        owner = self.successor_pos(key)
+        cur = start_pos
+        path = [cur]
+        n = self._n
+        while cur != owner:
+            if succ_list_r > 0 and 0 < (owner - cur) % n <= succ_list_r:
+                path.append(owner)
+                return path
+            cur = self.next_hop(cur, key)
+            path.append(cur)
+        return path
+
+    def predecessor_route(self, start_pos: int, key: int, *, succ_list_r: int = 0) -> list[int]:
+        """Route towards ``key`` but stop at its ring *predecessor*.
+
+        This is each lower layer's loop in HIERAS: the message advances
+        clockwise with Chord's finger rule until the key falls between
+        the current member and its ring successor, then stops *without*
+        taking the final hop.  Stopping before the key (instead of at
+        the ring successor, which generally overshoots it) is what lets
+        the next layer continue shrinking the remaining distance rather
+        than re-circling the space — see DESIGN.md §5.  If the start
+        member's id equals the key, the route is empty (the owner has
+        been reached).
+
+        ``succ_list_r`` enables the same successor-list shortcut as
+        :meth:`greedy_route`, jumping straight to the ring predecessor
+        when it is within the current node's ``r``-entry successor list
+        (paper §3.3 keeps one such list per layer).
+        """
+        cur = start_pos
+        path = [cur]
+        if self._n == 1:
+            return path
+        size = self._size
+        idlist = self._idlist
+        n = self._n
+        owner = self.successor_pos(key)
+        if cur == owner:
+            # The start already owns the key (it knows: key lies in
+            # (predecessor, me]) — the §3.2 destination check; walking
+            # to the key's predecessor from here would circle the ring.
+            return path
+        pred = (owner - 1) % n
+        while True:
+            cur_id = idlist[cur]
+            d = (key - cur_id) % size
+            if d == 0:  # sitting exactly on the key: cur owns it
+                return path
+            succ_pos = cur + 1 if cur + 1 < n else 0
+            dsucc = (idlist[succ_pos] - cur_id) % size
+            if d <= dsucc:  # key in (cur, successor]: cur is predecessor
+                return path
+            if succ_list_r > 0 and 0 < (pred - cur) % n <= succ_list_r:
+                path.append(pred)
+                return path
+            cur = self.next_hop(cur, key)
+            path.append(cur)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def finger_table(self, pos: int, *, max_entries: int | None = None) -> list[FingerEntry]:
+        """Materialise the finger table of the member at ``pos``.
+
+        Used by the Table 2 reproduction and by the protocol stack's
+        correctness tests; routing itself queries fingers lazily.
+        """
+        node_id = int(self.ids[pos])
+        bits = self.space.bits if max_entries is None else max_entries
+        entries = []
+        for i in range(1, bits + 1):
+            start = (node_id + (1 << (i - 1))) % self._size
+            nxt = (node_id + (1 << i)) % self._size if i < self.space.bits else node_id
+            spos = self.successor_pos(start)
+            entries.append(
+                FingerEntry(
+                    index=i,
+                    start=start,
+                    interval=(start, nxt),
+                    node_id=int(self.ids[spos]),
+                    peer=int(self.peers[spos]),
+                )
+            )
+        return entries
+
+    def successor_list(self, pos: int, r: int) -> list[int]:
+        """Positions of the ``r`` nearest clockwise successors of ``pos``.
+
+        HIERAS keeps one such list *per layer* for failure recovery
+        (§3.3); the list wraps and excludes ``pos`` itself.
+        """
+        require(r >= 0, "r must be >= 0")
+        r = min(r, self._n - 1)
+        return [(pos + k) % self._n for k in range(1, r + 1)]
+
+    def arc_members(self, lo: int, hi: int) -> np.ndarray:
+        """Positions of members with ids in the clockwise arc ``(lo, hi]``."""
+        size = self._size
+        lo, hi = int(lo) % size, int(hi) % size
+        if lo < hi:
+            a = bisect_right(self._idlist, lo)
+            b = bisect_right(self._idlist, hi)
+            return np.arange(a, b)
+        a = bisect_right(self._idlist, lo)
+        b = bisect_right(self._idlist, hi)
+        return np.concatenate([np.arange(a, self._n), np.arange(0, b)])

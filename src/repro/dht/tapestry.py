@@ -1,0 +1,194 @@
+"""Tapestry baseline (paper reference [14]).
+
+The paper's related work and future work name Tapestry, with Pastry, as
+the existing locality-aware DHTs to compare against.  Tapestry routes by
+resolving the destination id one digit at a time — like Pastry — but
+differs in two ways that matter for a comparison:
+
+* **Surrogate routing** instead of leaf sets: when the required routing
+  table entry is empty, the message deterministically "routes around
+  the hole" by trying the next digit value (wrapping), at the same
+  level; the node reached when every entry at the current level maps to
+  itself is the key's unique *surrogate root* — ownership needs no
+  neighbour sets at all.
+* Ids are resolved from the **least-significant digit upward** in
+  classic Plaxton/Tapestry fashion (we follow the common
+  most-significant-first presentation used in later Tapestry papers; the
+  mechanics are symmetric).
+
+Like :mod:`repro.dht.pastry`, routing-table entries are chosen with
+proximity (lowest measured latency among candidates), which is
+Tapestry's "closest digit-matching neighbour" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dht.base import DHTNetwork, RouteResult, ZeroLatency
+from repro.topology.base import LatencyModel
+from repro.util.ids import IdSpace
+from repro.util.rng import make_rng
+from repro.util.validation import require
+
+__all__ = ["TapestryParams", "TapestryNetwork"]
+
+
+@dataclass(frozen=True)
+class TapestryParams:
+    """Structural parameters of a Tapestry overlay."""
+
+    #: Bits per digit (base ``2**b``); Tapestry deployments used b=4.
+    b: int = 4
+    #: PNS candidate sample size per routing-table entry.
+    pns_samples: int = 8
+
+    def __post_init__(self) -> None:
+        require(1 <= self.b <= 8, "b must be in [1, 8]")
+        require(self.pns_samples >= 1, "pns_samples must be >= 1")
+
+
+class TapestryNetwork(DHTNetwork):
+    """A static Tapestry overlay with surrogate routing."""
+
+    def __init__(
+        self,
+        space: IdSpace,
+        ids: np.ndarray,
+        *,
+        params: TapestryParams | None = None,
+        latency: LatencyModel | None = None,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        self.params = params or TapestryParams()
+        require(
+            space.bits % self.params.b == 0,
+            f"id width {space.bits} must be a multiple of digit width {self.params.b}",
+        )
+        ids = np.asarray(ids, dtype=np.uint64)
+        require(len(ids) >= 1, "need at least one peer")
+        require(len(np.unique(ids)) == len(ids), "node ids must be unique")
+        self.space = space
+        self.latency = latency if latency is not None else ZeroLatency()
+        self._id_of_peer = ids.copy()
+        self._levels = space.bits // self.params.b
+        self._base = 1 << self.params.b
+        self._rng = make_rng(seed)
+        self._tables = self._build_tables()
+
+    # ------------------------------------------------------------------
+    def _digit(self, value: int, level: int) -> int:
+        shift = self.space.bits - self.params.b * (level + 1)
+        return (int(value) >> shift) & (self._base - 1)
+
+    def _build_tables(self) -> list[dict[tuple[int, int], int]]:
+        """Routing tables: entry (level, d) = nearest node whose id
+        shares my first ``level`` digits and has digit ``d`` next."""
+        n = len(self._id_of_peer)
+        tables: list[dict[tuple[int, int], int]] = [dict() for _ in range(n)]
+        ids = self._id_of_peer
+        groups: dict[int, np.ndarray] = {0: np.arange(n)}
+        for level in range(self._levels):
+            shift = self.space.bits - self.params.b * (level + 1)
+            digits = ((ids >> np.uint64(shift)) & np.uint64(self._base - 1)).astype(np.int64)
+            next_groups: dict[int, np.ndarray] = {}
+            for prefix, members in groups.items():
+                if len(members) <= 1:
+                    continue
+                member_digits = digits[members]
+                buckets = {
+                    int(d): members[member_digits == d] for d in np.unique(member_digits)
+                }
+                for d, bucket in buckets.items():
+                    next_groups[(prefix << self.params.b) | d] = bucket
+                for peer in members:
+                    for d, bucket in buckets.items():
+                        cand = bucket[bucket != peer]
+                        if len(cand) == 0:
+                            continue
+                        if len(cand) > self.params.pns_samples:
+                            cand = self._rng.choice(
+                                cand, size=self.params.pns_samples, replace=False
+                            )
+                        delays = self.latency.to_targets(int(peer), cand)
+                        tables[int(peer)][(level, d)] = int(cand[int(np.argmin(delays))])
+            groups = next_groups
+            if not groups:
+                break
+        return tables
+
+    # ------------------------------------------------------------------
+    @property
+    def n_peers(self) -> int:
+        """Number of peers."""
+        return len(self._id_of_peer)
+
+    def id_of(self, peer: int) -> int:
+        """Node id of ``peer``."""
+        return int(self._id_of_peer[peer])
+
+    def _next_hop(self, cur: int, key: int) -> int | None:
+        """One Tapestry routing step; None when ``cur`` is the root.
+
+        Resolve the first digit of ``key`` that differs from ``cur``'s
+        id; if the exact entry is missing, surrogate-route by trying the
+        next digit values in cyclic order at the same level (restricted
+        to entries the node actually has, plus itself).
+        """
+        cur_id = self.id_of(cur)
+        for level in range(self._levels):
+            want = self._digit(key, level)
+            have = self._digit(cur_id, level)
+            if want == have:
+                continue
+            entry = self._tables[cur].get((level, want))
+            if entry is not None:
+                return entry
+            # Surrogate: walk digit values cyclically until one resolves
+            # (or we come back to our own digit — then we keep the level
+            # resolved as ourselves and continue to the next level).
+            for offset in range(1, self._base):
+                d = (want + offset) % self._base
+                if d == have:
+                    break
+                entry = self._tables[cur].get((level, d))
+                if entry is not None:
+                    return entry
+            continue
+        return None
+
+    def owner_of(self, key: int) -> int:
+        """The key's surrogate root (unique, neighbour-set-free)."""
+        key = self.space.wrap(int(key))
+        cur = 0
+        guard = self._levels * self._base + self.n_peers
+        for _ in range(guard):
+            nxt = self._next_hop(cur, key)
+            if nxt is None:
+                return cur
+            cur = nxt
+        raise RuntimeError("surrogate routing failed to converge")
+
+    def route(self, source: int, key: int) -> RouteResult:
+        """Tapestry prefix routing with surrogate holes."""
+        key = self.space.wrap(int(key))
+        cur = source
+        path = [cur]
+        guard = self._levels * self._base + self.n_peers
+        while True:
+            nxt = self._next_hop(cur, key)
+            if nxt is None:
+                break
+            cur = nxt
+            path.append(cur)
+            require(len(path) <= guard, "Tapestry routing stalled")
+        return RouteResult(
+            source=source,
+            key=key,
+            owner=cur,
+            path=path,
+            latency_ms=self.route_latency(self.latency, path),
+            hops_per_layer=[len(path) - 1],
+        )

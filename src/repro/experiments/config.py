@@ -1,0 +1,97 @@
+"""Experiment configuration.
+
+A :class:`SimConfig` pins every knob of one simulated deployment —
+topology family and size, landmark count and placement, binning depth,
+id-space width, seeds — and is hashable so the runner can cache built
+simulations across experiments (fig2 and fig3 share their sweep, fig4
+and fig5 share their 10000-node network, …).
+
+Scale control: experiments run at a CI-friendly reduced scale by
+default; passing ``full=True`` (CLI ``--full``) or setting the
+``REPRO_FULL=1`` environment variable selects the paper's parameters
+(10000 nodes, 100000 requests).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.util.validation import require
+
+__all__ = ["SimConfig", "is_full_scale", "DEFAULT_REQUESTS", "FULL_REQUESTS"]
+
+#: Requests per experiment at reduced / paper scale (paper: §4.2).
+DEFAULT_REQUESTS = 20_000
+FULL_REQUESTS = 100_000
+
+
+def is_full_scale(full: bool | None = None) -> bool:
+    """Resolve the scale flag (explicit argument wins over env)."""
+    if full is not None:
+        return full
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One simulated deployment (topology + overlay + HIERAS settings)."""
+
+    model: str = "ts"  # "ts" | "inet" | "brite"
+    n_peers: int = 1000
+    n_landmarks: int = 4
+    depth: int = 2
+    seed: int = 42
+    bits: int = 32
+    #: Router count relative to overlay size; >1 leaves unoccupied
+    #: routers, as in the paper's emulated networks.
+    router_factor: float = 1.25
+    #: ``"auto"`` picks per model: max–min *spread* placement on
+    #: transit-stub (one landmark per backbone region) and *random*
+    #: placement on Inet (random machines land in population hotspots —
+    #: where well-known Internet landmarks actually live; max–min would
+    #: select pathological fringe routers there).
+    landmark_strategy: str = "auto"
+    successor_list_r: int = 16
+    successor_list_policy: str = "transitions"
+
+    def __post_init__(self) -> None:
+        require(self.model in ("ts", "inet", "brite"), f"unknown model {self.model!r}")
+        require(self.n_peers >= 8, "n_peers must be >= 8")
+        require(self.n_landmarks >= 1, "n_landmarks must be >= 1")
+        require(2 <= self.depth <= 4, "depth must be in [2, 4]")
+        require(self.router_factor >= 1.0, "router_factor must be >= 1")
+        require(
+            self.landmark_strategy in ("auto", "spread", "random"),
+            f"unknown landmark_strategy {self.landmark_strategy!r}",
+        )
+
+    @property
+    def resolved_landmark_strategy(self) -> str:
+        """Per-model resolution of the ``"auto"`` landmark strategy."""
+        if self.landmark_strategy != "auto":
+            return self.landmark_strategy
+        return "random" if self.model == "inet" else "spread"
+
+    @property
+    def n_routers(self) -> int:
+        """Router count of the generated topology."""
+        return max(64, int(self.n_peers * self.router_factor))
+
+    def with_(self, **changes: object) -> "SimConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def topology_key(self) -> tuple:
+        """Cache key for the expensive substrate (topology + latency +
+        attachment + landmarks) — everything that does not depend on
+        binning depth or routing settings."""
+        return (
+            self.model,
+            self.n_peers,
+            self.n_landmarks,
+            self.seed,
+            self.bits,
+            self.router_factor,
+            self.landmark_strategy,
+        )

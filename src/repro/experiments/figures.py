@@ -1,0 +1,1346 @@
+"""The experiment registry: one entry per paper table/figure + ablations.
+
+Each experiment builds its deployments through the cached runner, runs
+the request trace through Chord and HIERAS, and renders the same rows
+or series the paper reports, followed by a shape check against the
+paper's qualitative claims.  ``EXPERIMENTS`` maps ids to
+:class:`Experiment` records; the CLI and the pytest benchmarks both
+dispatch through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.compare import bootstrap_ratio_ci
+from repro.analysis.plots import bar_chart, line_plot
+from repro.analysis.stats import RouteSample, collect_routes, hop_pdf, ratio_percent
+from repro.analysis.tables import format_table, render_series
+from repro.core.binning import BinningScheme, LandmarkOrders
+from repro.core.hieras import HierasNetwork
+from repro.core.hieras_can import HierasCanNetwork
+from repro.dht.can import CanNetwork, CanParams
+from repro.dht.pastry import PastryNetwork, PastryParams
+from repro.experiments.config import DEFAULT_REQUESTS, FULL_REQUESTS, SimConfig, is_full_scale
+from repro.experiments.runner import build_bundle, make_trace
+from repro.topology.latency import NoisyLatencyModel
+from repro.util.rng import RngFactory
+
+__all__ = ["Experiment", "ExperimentResult", "EXPERIMENTS", "get_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered report plus the structured numbers behind it."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artifact."""
+
+    id: str
+    title: str
+    paper_claim: str
+    run: Callable[[bool, int], ExperimentResult]
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+
+_SAMPLES: dict[tuple, tuple[RouteSample, RouteSample]] = {}
+
+
+def _pair(config: SimConfig, n_requests: int) -> tuple[RouteSample, RouteSample]:
+    """Cached (chord, hieras) samples for a config + request count."""
+    key = (config, n_requests)
+    if key not in _SAMPLES:
+        bundle = build_bundle(config)
+        trace = make_trace(bundle, n_requests)
+        _SAMPLES[key] = (
+            collect_routes(bundle.chord, trace),
+            collect_routes(bundle.hieras, trace),
+        )
+        if len(_SAMPLES) > 48:
+            _SAMPLES.pop(next(iter(_SAMPLES)))
+    return _SAMPLES[key]
+
+
+def _requests(full: bool) -> int:
+    return FULL_REQUESTS if full else DEFAULT_REQUESTS
+
+
+def _sizes(full: bool, model: str) -> list[int]:
+    """Network-size sweep per model (paper §4.1: 1000–10000; Inet ≥ 3000)."""
+    if full:
+        sizes = list(range(1000, 10_001, 1000))
+    else:
+        sizes = [1000, 2000, 3000, 4000]
+    if model == "inet":
+        sizes = [s for s in sizes if s * 1.25 >= 3000] or [3000]
+    return sizes
+
+
+def _claim(ok: bool, text: str) -> str:
+    return f"  [{'ok' if ok else 'DIVERGES'}] {text}"
+
+
+# ----------------------------------------------------------------------
+# Table 1 — distributed binning example
+# ----------------------------------------------------------------------
+
+def _run_table1(full: bool, seed: int) -> ExperimentResult:
+    """Reproduce Table 1: landmark orders of the paper's 6 sample nodes."""
+    distances = np.asarray(
+        [
+            [25, 5, 30, 100],
+            [40, 18, 12, 200],
+            [100, 180, 5, 10],
+            [160, 220, 8, 20],
+            [45, 10, 100, 5],
+            [20, 140, 50, 40],
+        ],
+        dtype=np.float64,
+    )
+    expected = ["1012", "1002", "2200", "2200", "1020", "0211"]
+    orders = BinningScheme.default_for_depth(2).orders(distances)
+    rows = orders.table1_rows(labels=list("ABCDEF"))
+    got = [row["order"] for row in rows]
+    same_ring = orders.order_of(2) == orders.order_of(3)
+    lines = [
+        format_table(rows),
+        "",
+        _claim(got == expected, f"orders match the paper exactly: {got}"),
+        _claim(same_ring, 'C and D share layer-2 ring "2200"'),
+    ]
+    return ExperimentResult(
+        "table1",
+        "Table 1 — distributed binning of 6 sample nodes, 4 landmarks",
+        "\n".join(lines),
+        data={"orders": got, "expected": expected},
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — layered finger tables
+# ----------------------------------------------------------------------
+
+def _run_table2(full: bool, seed: int) -> ExperimentResult:
+    """Reproduce Table 2's layout: one node's finger table per layer.
+
+    The paper's sample is a 2**8 id space with 3 landmarks; we build an
+    equivalent small deployment and print the same columns (start,
+    interval, layer-1 successor with its ring, layer-2 successor).
+    """
+    config = SimConfig(model="ts", n_peers=24, n_landmarks=3, depth=2, seed=seed, bits=8)
+    bundle = build_bundle(config)
+    peer = 0
+    rows = []
+    checks = []
+    ring_name = bundle.hieras.ring_name_of(peer, 2)
+    for row in bundle.hieras.table2_rows(peer):
+        (l1_id, _l1_peer, l1_ring), (l2_id, l2_peer, l2_ring) = row.successors
+        rows.append(
+            {
+                "start": row.start,
+                "interval": f"[{row.interval[0]},{row.interval[1]})",
+                "layer1_succ": f'{l1_id} ("{l1_ring}")',
+                "layer2_succ": f'{l2_id} ("{l2_ring}")',
+            }
+        )
+        checks.append(l2_ring == ring_name)
+    my_ring = bundle.hieras.ring_of(peer, 2)
+    lines = [
+        f'node {bundle.hieras.id_of(peer)} ("{ring_name}"), '
+        f"{bundle.hieras.n_peers} peers, layer-2 ring size {len(my_ring)}",
+        format_table(rows),
+        "",
+        _claim(
+            all(checks),
+            "every layer-2 successor belongs to the node's own ring "
+            "(layer-1 successors roam freely) — Table 2's defining property",
+        ),
+    ]
+    return ExperimentResult(
+        "table2",
+        "Table 2 — two-layer finger tables of one node",
+        "\n".join(lines),
+        data={"rows": rows},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 2/3 — hops and latency vs network size, three models
+# ----------------------------------------------------------------------
+
+def _run_fig2(full: bool, seed: int) -> ExperimentResult:
+    """Figure 2: average routing hops vs size, HIERAS ≈ Chord."""
+    n_req = _requests(full)
+    sections = []
+    deltas: list[float] = []
+    growth: dict[str, float] = {}
+    for model in ("ts", "inet", "brite"):
+        sizes = _sizes(full, model)
+        chord_hops, hieras_hops = [], []
+        for n in sizes:
+            config = SimConfig(model=model, n_peers=n, n_landmarks=4, depth=2, seed=seed)
+            chord, hieras = _pair(config, n_req)
+            chord_hops.append(round(chord.mean_hops, 3))
+            hieras_hops.append(round(hieras.mean_hops, 3))
+            deltas.append(100 * (hieras.mean_hops - chord.mean_hops) / chord.mean_hops)
+        growth[model] = 100 * (hieras_hops[-1] - hieras_hops[0]) / hieras_hops[0]
+        sections.append(
+            f"model={model}\n"
+            + render_series(
+                "nodes",
+                sizes,
+                {"chord_hops": chord_hops, "hieras_hops": hieras_hops},
+            )
+        )
+    mean_delta = float(np.mean(deltas))
+    lines = sections + [
+        "",
+        _claim(
+            abs(mean_delta) < 10.0,
+            f"HIERAS hop count stays within a few percent of Chord "
+            f"(mean delta {mean_delta:+.2f}%; paper: +0.78% to +3.40%)",
+        ),
+        _claim(
+            all(0 < g < 70 for g in growth.values()),
+            f"hop growth from smallest to largest network is modest "
+            f"({ {m: round(g, 1) for m, g in growth.items()} }; paper: ~32% "
+            "for 1000→10000 nodes) — both algorithms scale as O(log N)",
+        ),
+    ]
+    return ExperimentResult(
+        "fig2",
+        "Figure 2 — average routing hops vs network size",
+        "\n".join(lines),
+        data={"mean_delta_percent": mean_delta, "growth_percent": growth},
+    )
+
+
+def _run_fig3(full: bool, seed: int) -> ExperimentResult:
+    """Figure 3: average routing latency vs size, per topology model."""
+    n_req = _requests(full)
+    sections = []
+    ratios: dict[str, float] = {}
+    for model in ("ts", "inet", "brite"):
+        sizes = _sizes(full, model)
+        chord_lat, hieras_lat, ratio = [], [], []
+        for n in sizes:
+            config = SimConfig(model=model, n_peers=n, n_landmarks=4, depth=2, seed=seed)
+            chord, hieras = _pair(config, n_req)
+            chord_lat.append(round(chord.mean_latency_ms, 1))
+            hieras_lat.append(round(hieras.mean_latency_ms, 1))
+            ratio.append(round(ratio_percent(hieras.mean_latency_ms, chord.mean_latency_ms), 1))
+        ratios[model] = float(np.mean(ratio))
+        sections.append(
+            f"model={model}\n"
+            + render_series(
+                "nodes",
+                sizes,
+                {
+                    "chord_ms": chord_lat,
+                    "hieras_ms": hieras_lat,
+                    "hieras/chord_%": ratio,
+                },
+            )
+        )
+    paper = {"ts": 51.8, "inet": 53.41, "brite": 62.47}
+    lines = sections + [""]
+    for model, mean_ratio in ratios.items():
+        lines.append(
+            _claim(
+                mean_ratio < 80.0,
+                f"{model}: HIERAS latency is {mean_ratio:.1f}% of Chord "
+                f"(paper: {paper[model]}%) — HIERAS wins decisively",
+            )
+        )
+    return ExperimentResult(
+        "fig3",
+        "Figure 3 — average routing latency vs network size (TS/Inet/BRITE)",
+        "\n".join(lines),
+        data={"mean_ratio_percent": ratios, "paper_ratio_percent": paper},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 4/5 — distributions on the big TS network
+# ----------------------------------------------------------------------
+
+def _dist_config(full: bool, seed: int) -> SimConfig:
+    return SimConfig(
+        model="ts", n_peers=10_000 if full else 4000, n_landmarks=4, depth=2, seed=seed
+    )
+
+
+def _run_fig4(full: bool, seed: int) -> ExperimentResult:
+    """Figure 4: PDF of routing hops (Chord vs HIERAS vs low layer)."""
+    config = _dist_config(full, seed)
+    chord, hieras = _pair(config, _requests(full))
+    top = int(max(chord.hops.max(), hieras.hops.max()))
+    xs, chord_pdf = hop_pdf(chord.hops, max_hops=top)
+    _, hieras_pdf = hop_pdf(hieras.hops, max_hops=top)
+    _, low_pdf = hop_pdf(hieras.low_layer_hops, max_hops=top)
+    table = render_series(
+        "hops",
+        xs.tolist(),
+        {
+            "chord_pdf": [round(v, 4) for v in chord_pdf],
+            "hieras_pdf": [round(v, 4) for v in hieras_pdf],
+            "hieras_low_layer_pdf": [round(v, 4) for v in low_pdf],
+        },
+    )
+    low_share = 100 * hieras.low_layer_hop_share
+    delta = 100 * (hieras.mean_hops - chord.mean_hops) / chord.mean_hops
+    chart = bar_chart(
+        [f"{h:>2}" for h in xs.tolist()],
+        hieras_pdf.tolist(),
+        width=42,
+        title="HIERAS hop-count PDF:",
+    )
+    lines = [
+        f"network: {config.n_peers} peers, TS model, {_requests(full)} requests",
+        table,
+        "",
+        chart,
+        "",
+        f"mean hops: chord={chord.mean_hops:.4f} hieras={hieras.mean_hops:.4f} "
+        f"(paper: 6.4933 vs 6.5937, +1.55%)",
+        f"mean hops taken in the higher layer: {hieras.mean_top_layer_hops:.3f} "
+        "(paper: 1.887)",
+        _claim(
+            abs(delta) < 12.0,
+            f"hop distributions nearly coincide (delta {delta:+.2f}%)",
+        ),
+        _claim(
+            low_share > 55.0,
+            f"{low_share:.2f}% of HIERAS hops run in lower-layer rings "
+            "(paper: 71.38%)",
+        ),
+    ]
+    return ExperimentResult(
+        "fig4",
+        "Figure 4 — PDF of the number of routing hops",
+        "\n".join(lines),
+        data={
+            "chord_mean_hops": chord.mean_hops,
+            "hieras_mean_hops": hieras.mean_hops,
+            "low_layer_hop_share": hieras.low_layer_hop_share,
+            "top_layer_hops": hieras.mean_top_layer_hops,
+        },
+    )
+
+
+def _run_fig5(full: bool, seed: int) -> ExperimentResult:
+    """Figure 5: CDF of routing latency + the §4.3 link-delay split."""
+    config = _dist_config(full, seed)
+    chord, hieras = _pair(config, _requests(full))
+    points = 15
+    hi = float(max(chord.latency_ms.max(), hieras.latency_ms.max()))
+    xs = np.linspace(0, hi, points)
+    chord_sorted = np.sort(chord.latency_ms)
+    hieras_sorted = np.sort(hieras.latency_ms)
+    table = render_series(
+        "latency_ms",
+        [round(x, 1) for x in xs],
+        {
+            "chord_cdf": [
+                round(float(np.searchsorted(chord_sorted, x, side="right") / len(chord_sorted)), 4)
+                for x in xs
+            ],
+            "hieras_cdf": [
+                round(float(np.searchsorted(hieras_sorted, x, side="right") / len(hieras_sorted)), 4)
+                for x in xs
+            ],
+        },
+    )
+    ratio = ratio_percent(hieras.mean_latency_ms, chord.mean_latency_ms)
+    ratio_ci = bootstrap_ratio_ci(hieras.latency_ms, chord.latency_ms, seed=seed)
+    low_delay = hieras.mean_link_delay(layer="low")
+    top_delay = hieras.mean_link_delay(layer="top")
+    plot = line_plot(
+        [round(x, 1) for x in xs],
+        {
+            "chord": [
+                float(np.searchsorted(chord_sorted, x, side="right") / len(chord_sorted))
+                for x in xs
+            ],
+            "hieras": [
+                float(np.searchsorted(hieras_sorted, x, side="right") / len(hieras_sorted))
+                for x in xs
+            ],
+        },
+        width=60,
+        height=12,
+        x_label="latency (ms)",
+        title="latency CDFs:",
+    )
+    lines = [
+        f"network: {config.n_peers} peers, TS model, {_requests(full)} requests",
+        table,
+        "",
+        plot,
+        "",
+        f"latency ratio (paired bootstrap 95% CI): "
+        f"{100 * ratio_ci.estimate:.2f}% [{100 * ratio_ci.low:.2f}, {100 * ratio_ci.high:.2f}]",
+        f"mean latency: chord={chord.mean_latency_ms:.2f}ms "
+        f"hieras={hieras.mean_latency_ms:.2f}ms → {ratio:.2f}% "
+        "(paper: 511.47 vs 276.53 → 54.07%)",
+        f"mean link delay: higher layer {top_delay:.1f}ms, lower layers "
+        f"{low_delay:.3f}ms → {ratio_percent(low_delay, top_delay):.2f}% "
+        "(paper: 79 vs 27.758 → 35.23%)",
+        f"low-layer hops {100 * hieras.low_layer_hop_share:.2f}% of hops carry "
+        f"{100 * hieras.low_layer_latency_share:.2f}% of latency "
+        "(paper: 71.38% of hops, 47.24% of latency)",
+        _claim(ratio < 80.0, "HIERAS latency CDF dominates Chord's"),
+        _claim(
+            low_delay < 0.7 * top_delay,
+            "lower-layer links are far cheaper than higher-layer links",
+        ),
+    ]
+    return ExperimentResult(
+        "fig5",
+        "Figure 5 — CDF of routing latency",
+        "\n".join(lines),
+        data={
+            "latency_ratio_percent": ratio,
+            "low_link_delay_ms": low_delay,
+            "top_link_delay_ms": top_delay,
+            "low_latency_share": hieras.low_layer_latency_share,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6/7 — landmark count sweep
+# ----------------------------------------------------------------------
+
+def _landmark_configs(full: bool, seed: int) -> tuple[list[int], int]:
+    n_peers = 10_000 if full else 3000
+    counts = list(range(2, 13)) if full else [2, 4, 6, 8, 10, 12]
+    return counts, n_peers
+
+
+def _run_fig6(full: bool, seed: int) -> ExperimentResult:
+    """Figure 6: hops vs number of landmarks."""
+    counts, n_peers = _landmark_configs(full, seed)
+    n_req = _requests(full)
+    chord_hops, hieras_hops, low_hops = [], [], []
+    for L in counts:
+        config = SimConfig(model="ts", n_peers=n_peers, n_landmarks=L, depth=2, seed=seed)
+        chord, hieras = _pair(config, n_req)
+        chord_hops.append(round(chord.mean_hops, 3))
+        hieras_hops.append(round(hieras.mean_hops, 3))
+        low_hops.append(round(float(hieras.low_layer_hops.mean()), 3))
+    table = render_series(
+        "landmarks",
+        counts,
+        {
+            "chord_hops": chord_hops,
+            "hieras_hops": hieras_hops,
+            "hieras_low_layer_hops": low_hops,
+        },
+    )
+    spread = max(hieras_hops) - min(hieras_hops)
+    lines = [
+        f"network: {n_peers} peers, TS model, {n_req} requests",
+        table,
+        "",
+        _claim(
+            spread < 0.12 * float(np.mean(hieras_hops)),
+            f"hop count changes little across landmark counts "
+            f"(spread {spread:.3f} hops; paper: 'changes little')",
+        ),
+        _claim(
+            low_hops[0] >= max(low_hops) - 1e-9 or low_hops[0] > low_hops[-1],
+            "lower-layer hops shrink as landmarks increase (more, smaller "
+            "rings; paper: 'reduces sharply' from 2 to 8 landmarks)",
+        ),
+    ]
+    return ExperimentResult(
+        "fig6",
+        "Figure 6 — average routing hops vs number of landmarks",
+        "\n".join(lines),
+        data={"counts": counts, "hieras_hops": hieras_hops, "low_hops": low_hops},
+    )
+
+
+def _run_fig7(full: bool, seed: int) -> ExperimentResult:
+    """Figure 7: latency vs number of landmarks."""
+    counts, n_peers = _landmark_configs(full, seed)
+    n_req = _requests(full)
+    ratios = []
+    hieras_lat, chord_lat = [], []
+    for L in counts:
+        config = SimConfig(model="ts", n_peers=n_peers, n_landmarks=L, depth=2, seed=seed)
+        chord, hieras = _pair(config, n_req)
+        chord_lat.append(round(chord.mean_latency_ms, 1))
+        hieras_lat.append(round(hieras.mean_latency_ms, 1))
+        ratios.append(round(ratio_percent(hieras.mean_latency_ms, chord.mean_latency_ms), 2))
+    table = render_series(
+        "landmarks",
+        counts,
+        {"chord_ms": chord_lat, "hieras_ms": hieras_lat, "hieras/chord_%": ratios},
+    )
+    best = min(ratios)
+    lines = [
+        f"network: {n_peers} peers, TS model, {n_req} requests",
+        table,
+        "",
+        _claim(
+            ratios[0] > best + 1.0,
+            f"too few landmarks hurt: {counts[0]} landmarks give {ratios[0]}% "
+            f"vs best {best}% (paper: 2 landmarks only 7.12% below Chord, "
+            "best 43.31% at 8)",
+        ),
+        _claim(
+            abs(ratios[-1] - best) < 15.0,
+            "beyond the sweet spot, more landmarks give little extra gain",
+        ),
+    ]
+    return ExperimentResult(
+        "fig7",
+        "Figure 7 — average routing latency vs number of landmarks",
+        "\n".join(lines),
+        data={"counts": counts, "ratios_percent": ratios},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 8/9 — hierarchy depth sweep
+# ----------------------------------------------------------------------
+
+def _depth_configs(full: bool) -> list[int]:
+    return [5000, 6000, 7000, 8000, 9000, 10_000] if full else [2000, 3000, 4000]
+
+
+def _run_fig8(full: bool, seed: int) -> ExperimentResult:
+    """Figure 8: hops vs hierarchy depth (2–4), 6 landmarks."""
+    sizes = _depth_configs(full)
+    n_req = _requests(full)
+    series: dict[str, list[float]] = {f"depth{d}_hops": [] for d in (2, 3, 4)}
+    increments = []
+    for n in sizes:
+        per_depth = []
+        for depth in (2, 3, 4):
+            config = SimConfig(model="ts", n_peers=n, n_landmarks=6, depth=depth, seed=seed)
+            _, hieras = _pair(config, n_req)
+            series[f"depth{depth}_hops"].append(round(hieras.mean_hops, 3))
+            per_depth.append(hieras.mean_hops)
+        increments.append(100 * (per_depth[2] - per_depth[0]) / per_depth[0])
+    table = render_series("nodes", sizes, series)
+    max_inc = max(abs(v) for v in increments)
+    lines = [
+        f"TS model, 6 landmarks, {n_req} requests",
+        table,
+        "",
+        _claim(
+            max_inc < 8.0,
+            f"depth barely changes hop count (4-layer vs 2-layer within "
+            f"{max_inc:.2f}%; paper: +0.29% to +1.65%)",
+        ),
+    ]
+    return ExperimentResult(
+        "fig8",
+        "Figure 8 — hops vs hierarchy depth",
+        "\n".join(lines),
+        data={"sizes": sizes, "series": series, "increments_percent": increments},
+    )
+
+
+def _run_fig9(full: bool, seed: int) -> ExperimentResult:
+    """Figure 9: latency vs hierarchy depth (2–4), 6 landmarks."""
+    sizes = _depth_configs(full)
+    n_req = _requests(full)
+    series: dict[str, list[float]] = {f"depth{d}_ms": [] for d in (2, 3, 4)}
+    gain_23, gain_34 = [], []
+    for n in sizes:
+        per_depth = []
+        for depth in (2, 3, 4):
+            config = SimConfig(model="ts", n_peers=n, n_landmarks=6, depth=depth, seed=seed)
+            _, hieras = _pair(config, n_req)
+            series[f"depth{depth}_ms"].append(round(hieras.mean_latency_ms, 1))
+            per_depth.append(hieras.mean_latency_ms)
+        gain_23.append(100 * (per_depth[0] - per_depth[1]) / per_depth[0])
+        gain_34.append(100 * (per_depth[1] - per_depth[2]) / per_depth[1])
+    table = render_series("nodes", sizes, series)
+    lines = [
+        f"TS model, 6 landmarks, {n_req} requests",
+        table,
+        "",
+        f"latency reduction 2→3 layers: {[round(g, 2) for g in gain_23]}% "
+        "(paper: 9.64%–16.15%)",
+        f"latency reduction 3→4 layers: {[round(g, 2) for g in gain_34]}% "
+        "(paper: 2.12%–5.42%, occasionally negative)",
+        _claim(
+            float(np.mean(gain_23)) > float(np.mean(gain_34)) - 0.5,
+            "going deeper helps with diminishing returns — 2 or 3 layers "
+            "is the practical optimum (paper §4.5's conclusion)",
+        ),
+    ]
+    return ExperimentResult(
+        "fig9",
+        "Figure 9 — latency vs hierarchy depth",
+        "\n".join(lines),
+        data={"sizes": sizes, "series": series, "gain_23": gain_23, "gain_34": gain_34},
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations (DESIGN.md §4)
+# ----------------------------------------------------------------------
+
+def _run_ablation_binning(full: bool, seed: int) -> ExperimentResult:
+    """Random ring assignment vs distributed binning.
+
+    Keeps ring count and sizes identical and only destroys the
+    *topological* grouping — isolating the binning scheme's entire
+    contribution (paper §2.2 argues it is essential).
+    """
+    n_peers = 4000 if full else 2000
+    n_req = _requests(full) // 2
+    config = SimConfig(model="ts", n_peers=n_peers, n_landmarks=4, depth=2, seed=seed)
+    bundle = build_bundle(config)
+    trace = make_trace(bundle, n_req)
+    chord = collect_routes(bundle.chord, trace)
+    hieras = collect_routes(bundle.hieras, trace)
+
+    rng = RngFactory(seed).get("ablation-binning")
+    shuffled = bundle.orders.names_per_layer[0].copy()
+    rng.shuffle(shuffled)
+    random_orders = LandmarkOrders(
+        scheme=bundle.orders.scheme,
+        distances=bundle.orders.distances,
+        level_matrices=bundle.orders.level_matrices,
+        names_per_layer=[shuffled],
+    )
+    random_net = HierasNetwork(
+        bundle.space,
+        bundle.node_ids,
+        latency=bundle.peer_latency,
+        landmark_orders=random_orders,
+        depth=2,
+    )
+    random_sample = collect_routes(random_net, trace)
+    rows = [
+        {
+            "variant": name,
+            "hops": round(s.mean_hops, 3),
+            "latency_ms": round(s.mean_latency_ms, 1),
+            "vs_chord_%": round(ratio_percent(s.mean_latency_ms, chord.mean_latency_ms), 1),
+        }
+        for name, s in [
+            ("chord", chord),
+            ("hieras_binned", hieras),
+            ("hieras_random_rings", random_sample),
+        ]
+    ]
+    ok = hieras.mean_latency_ms < 0.8 * random_sample.mean_latency_ms
+    lines = [
+        format_table(rows),
+        "",
+        _claim(
+            ok,
+            "with random (topology-blind) rings the latency win vanishes — "
+            "the gain comes from the binning scheme, not from hierarchy alone",
+        ),
+    ]
+    return ExperimentResult(
+        "ablation_binning",
+        "Ablation — distributed binning vs random ring assignment",
+        "\n".join(lines),
+        data={"rows": rows},
+    )
+
+
+def _run_ablation_succlist(full: bool, seed: int) -> ExperimentResult:
+    """Successor-list acceleration policies (§3.2/§3.3).
+
+    The paper reports HIERAS taking slightly *more* hops than Chord yet
+    only 1.887 hops in the top ring; the acceleration policy controls
+    exactly that trade-off (DESIGN.md §5).
+    """
+    n_peers = 4000 if full else 2000
+    n_req = _requests(full) // 2
+    base = SimConfig(model="ts", n_peers=n_peers, n_landmarks=4, depth=2, seed=seed)
+    bundle = build_bundle(base)
+    trace = make_trace(bundle, n_req)
+    chord = collect_routes(bundle.chord, trace)
+    rows = []
+    by_policy: dict[str, RouteSample] = {}
+    for policy in ("off", "transitions", "always"):
+        net = HierasNetwork(
+            bundle.space,
+            bundle.node_ids,
+            latency=bundle.peer_latency,
+            landmark_orders=bundle.orders,
+            depth=2,
+            successor_list_policy=policy,
+        )
+        sample = collect_routes(net, trace)
+        by_policy[policy] = sample
+        rows.append(
+            {
+                "policy": policy,
+                "hops": round(sample.mean_hops, 3),
+                "hops_vs_chord_%": round(
+                    100 * (sample.mean_hops - chord.mean_hops) / chord.mean_hops, 2
+                ),
+                "top_layer_hops": round(sample.mean_top_layer_hops, 3),
+                "latency_vs_chord_%": round(
+                    ratio_percent(sample.mean_latency_ms, chord.mean_latency_ms), 1
+                ),
+            }
+        )
+    ok = (
+        by_policy["off"].mean_hops
+        > by_policy["transitions"].mean_hops
+        > by_policy["always"].mean_hops
+    )
+    lines = [
+        f"chord: hops={chord.mean_hops:.3f} latency={chord.mean_latency_ms:.1f}ms",
+        format_table(rows),
+        "",
+        _claim(
+            ok,
+            "each widening of successor-list use trims hops; 'off' brackets "
+            "the paper's +hops regime, 'transitions' its 1.9 top-layer hops",
+        ),
+    ]
+    return ExperimentResult(
+        "ablation_succlist",
+        "Ablation — successor-list acceleration policy",
+        "\n".join(lines),
+        data={"rows": rows},
+    )
+
+
+def _run_ablation_can(full: bool, seed: int) -> ExperimentResult:
+    """HIERAS over CAN vs flat CAN vs multiple realities (§3.2).
+
+    Multiple realities are CAN's own route-shortening mechanism
+    (redundant coordinate spaces); contrasting them with the HIERAS
+    layering separates what redundancy buys (fewer hops, same links)
+    from what topology-awareness buys (cheaper links).
+    """
+    from repro.dht.can_realities import MultiRealityCan
+
+    n_peers = 2048 if full else 512
+    n_req = 4000 if full else 1500
+    config = SimConfig(model="ts", n_peers=n_peers, n_landmarks=4, depth=2, seed=seed)
+    bundle = build_bundle(config)
+    trace = make_trace(bundle, n_req)
+    flat = CanNetwork(
+        np.arange(n_peers), params=CanParams(dimensions=2),
+        latency=bundle.peer_latency, seed=seed,
+    )
+    layered = HierasCanNetwork(
+        n_peers,
+        landmark_orders=bundle.orders,
+        params=CanParams(dimensions=2),
+        latency=bundle.peer_latency,
+        depth=2,
+        seed=seed,
+    )
+    realities = MultiRealityCan(
+        np.arange(n_peers), realities=3, params=CanParams(dimensions=2),
+        latency=bundle.peer_latency, seed=seed,
+    )
+    samples = {
+        "can_flat": collect_routes(flat, trace),
+        "can_3_realities": collect_routes(realities, trace),
+        "hieras_over_can": collect_routes(layered, trace),
+    }
+    flat_lat = samples["can_flat"].mean_latency_ms
+    rows = [
+        {
+            "variant": name,
+            "hops": round(s.mean_hops, 3),
+            "latency_ms": round(s.mean_latency_ms, 1),
+            "vs_flat_%": round(ratio_percent(s.mean_latency_ms, flat_lat), 1),
+        }
+        for name, s in samples.items()
+    ]
+    ratio = ratio_percent(samples["hieras_over_can"].mean_latency_ms, flat_lat)
+    lines = [
+        f"{n_peers} peers, 2-d CAN, {n_req} requests",
+        format_table(rows),
+        "",
+        _claim(
+            ratio < 90.0,
+            f"the hierarchy transplants to CAN: layered latency is "
+            f"{ratio:.1f}% of flat CAN (paper §3.2: 'easy to extend ... to "
+            "other DHT algorithms such as CAN')",
+        ),
+        _claim(
+            samples["hieras_over_can"].mean_latency_ms
+            < samples["can_3_realities"].mean_latency_ms,
+            "topology-aware layering beats redundancy: realities cut hops "
+            "but pay full-cost links; HIERAS's hops run over cheap ones",
+        ),
+    ]
+    return ExperimentResult(
+        "ablation_can",
+        "Ablation — HIERAS over CAN vs flat CAN vs multiple realities",
+        "\n".join(lines),
+        data={"rows": rows, "ratio_percent": ratio},
+    )
+
+
+def _run_ablation_pastry(full: bool, seed: int) -> ExperimentResult:
+    """The locality-technique panel: Chord, Chord+PFS, HIERAS, Pastry,
+    Tapestry — the comparison the paper's §6 plans ("compare HIERAS
+    performance with other low latency DHT algorithms such as Pastry
+    and Tapestry")."""
+    from repro.dht.chord_pfs import PfsChordNetwork
+    from repro.dht.tapestry import TapestryNetwork, TapestryParams
+
+    n_peers = 4000 if full else 1500
+    n_req = 8000 if full else 3000
+    config = SimConfig(model="ts", n_peers=n_peers, n_landmarks=4, depth=2, seed=seed)
+    bundle = build_bundle(config)
+    trace = make_trace(bundle, n_req)
+    pastry = PastryNetwork(
+        bundle.space, bundle.node_ids, params=PastryParams(),
+        latency=bundle.peer_latency, seed=seed,
+    )
+    tapestry = TapestryNetwork(
+        bundle.space, bundle.node_ids, params=TapestryParams(),
+        latency=bundle.peer_latency, seed=seed,
+    )
+    pfs = PfsChordNetwork(
+        bundle.space, bundle.node_ids, latency=bundle.peer_latency, seed=seed
+    )
+    samples = {
+        "chord": collect_routes(bundle.chord, trace),
+        "chord_pfs": collect_routes(pfs, trace),
+        "hieras": collect_routes(bundle.hieras, trace),
+        "pastry_pns": collect_routes(pastry, trace),
+        "tapestry_pns": collect_routes(tapestry, trace),
+    }
+    chord_lat = samples["chord"].mean_latency_ms
+    rows = [
+        {
+            "variant": name,
+            "hops": round(s.mean_hops, 3),
+            "latency_ms": round(s.mean_latency_ms, 1),
+            "vs_chord_%": round(ratio_percent(s.mean_latency_ms, chord_lat), 1),
+        }
+        for name, s in samples.items()
+    ]
+    ok = all(
+        samples[name].mean_latency_ms < chord_lat
+        for name in ("chord_pfs", "hieras", "pastry_pns", "tapestry_pns")
+    )
+    lines = [
+        f"{n_peers} peers, TS model, {n_req} requests",
+        format_table(rows),
+        "",
+        _claim(
+            ok,
+            "every locality-aware design beats flat Chord on latency; "
+            "HIERAS achieves it with Chord-simple per-ring state (the "
+            "paper's core argument vs Pastry/Tapestry complexity)",
+        ),
+    ]
+    return ExperimentResult(
+        "ablation_pastry",
+        "Ablation — locality techniques: Chord / PFS / HIERAS / Pastry / Tapestry",
+        "\n".join(lines),
+        data={"rows": rows},
+    )
+
+
+def _run_ablation_noise(full: bool, seed: int) -> ExperimentResult:
+    """Binning under noisy ping measurements (paper §2.2's robustness)."""
+    n_peers = 4000 if full else 2000
+    n_req = _requests(full) // 2
+    config = SimConfig(model="ts", n_peers=n_peers, n_landmarks=4, depth=2, seed=seed)
+    bundle = build_bundle(config)
+    trace = make_trace(bundle, n_req)
+    chord = collect_routes(bundle.chord, trace)
+    rows = []
+    ratios = []
+    for sigma in (0.0, 0.1, 0.2, 0.4):
+        noisy_model = NoisyLatencyModel(
+            bundle.peer_latency.model, sigma=sigma, seed=seed + int(sigma * 100)
+        )
+        distances = bundle.attachment.landmark_distances(noisy_model)
+        orders = BinningScheme.default_for_depth(2).orders(distances)
+        net = HierasNetwork(
+            bundle.space,
+            bundle.node_ids,
+            latency=bundle.peer_latency,
+            landmark_orders=orders,
+            depth=2,
+        )
+        sample = collect_routes(net, trace)
+        ratio = ratio_percent(sample.mean_latency_ms, chord.mean_latency_ms)
+        ratios.append(ratio)
+        rows.append(
+            {
+                "ping_noise_sigma": sigma,
+                "rings": len(net.rings_at_layer(2)),
+                "hieras_ms": round(sample.mean_latency_ms, 1),
+                "vs_chord_%": round(ratio, 1),
+            }
+        )
+    lines = [
+        format_table(rows),
+        "",
+        _claim(
+            max(ratios) < 90.0,
+            "HIERAS keeps a large latency win even with ±40% lognormal ping "
+            "noise — binning 'is adequate for HIERAS' (§2.2)",
+        ),
+    ]
+    return ExperimentResult(
+        "ablation_noise",
+        "Ablation — binning under noisy latency measurement",
+        "\n".join(lines),
+        data={"rows": rows},
+    )
+
+
+def _measure_join_costs(seed: int) -> list[dict[str, object]]:
+    """Mean messages per join: flat Chord vs 2-ring HIERAS (§3.3–§3.4).
+
+    Runs the event-driven protocol for a 20-node bootstrap, tracing the
+    messages caused by the last five joins of each variant.  HIERAS
+    joins additionally fetch ring tables and join a lower ring, so they
+    cost more — the overhead §3.4 argues is affordable.
+    """
+    from repro.core.hieras_protocol import HierasProtocolNode
+    from repro.dht.base import ZeroLatency
+    from repro.dht.chord_protocol import GLOBAL_RING, ChordProtocolNode
+    from repro.sim.engine import Simulator
+    from repro.sim.network import SimNetwork
+    from repro.sim.trace import MessageTracer
+    from repro.util.ids import IdSpace
+
+    space = IdSpace(16)
+    rng = RngFactory(seed).get("join-cost")
+    n = 20
+    ids = space.sample_unique_ids(n, rng)
+    rows = []
+    for variant in ("chord", "hieras"):
+        sim = Simulator()
+        net = SimNetwork(sim, ZeroLatency())
+        if variant == "chord":
+            nodes = [
+                ChordProtocolNode(p, int(ids[p]), space, sim, net) for p in range(n)
+            ]
+            nodes[0].create_ring(GLOBAL_RING)
+            start = lambda p: nodes[p].join_ring(GLOBAL_RING, 0)  # noqa: E731
+        else:
+            nodes = [
+                HierasProtocolNode(p, int(ids[p]), space, sim, net) for p in range(n)
+            ]
+            nodes[0].found_system(["0"], landmark_table=[1, 2])
+            start = lambda p: nodes[p].join_system(0, [str(p % 2)])  # noqa: E731
+        t = 0.0
+        for p in range(1, n - 5):
+            t += 400.0
+            sim.schedule_at(t, start, p)
+        sim.run(until=t + 20_000, max_events=8_000_000)
+        window_ms = 4_000.0
+        # Baseline: steady-state maintenance traffic over one idle window.
+        tracer = MessageTracer(net)
+        tracer.start()
+        sim.run(until=sim.now + window_ms, max_events=8_000_000)
+        baseline = tracer.count()
+        tracer.reset()
+        # Five probed joins, one window each; the membership grows by
+        # one node per window, so baseline drift is ~5%, well below the
+        # join cost itself.
+        for p in range(n - 5, n):
+            sim.schedule_at(sim.now + 50.0, start, p)
+            sim.run(until=sim.now + window_ms, max_events=8_000_000)
+        tracer.stop()
+        join_msgs = max((tracer.count() - 5 * baseline) / 5.0, 0.0)
+        rows.append(
+            {
+                "variant": variant,
+                "msgs_per_join": round(join_msgs, 1),
+                "steady_state_msgs_per_window": baseline,
+                "window_ms": int(window_ms),
+            }
+        )
+    return rows
+
+
+def _run_cost_analysis(full: bool, seed: int) -> ExperimentResult:
+    """Quantitative overhead analysis (§3.4 + the paper's future work).
+
+    The paper argues HIERAS's extra state is "hundreds or thousands of
+    bytes" and lower-layer upkeep is cheap because ring mates are close;
+    its future work promises a quantitative analysis.  This experiment
+    measures, per hierarchy depth: routing-state entries and bytes per
+    node (closed-form model vs measured), and the mean per-ping delay of
+    one maintenance round per layer.
+    """
+    from repro.core.maintenance import (
+        maintenance_traffic_cost,
+        measured_state_cost,
+        state_cost_model,
+    )
+
+    n_peers = 4000 if full else 1500
+    base = SimConfig(model="ts", n_peers=n_peers, n_landmarks=6, seed=seed)
+    bundle = build_bundle(base)
+    rows = []
+    ping_rows = []
+    for depth in (2, 3, 4):
+        orders = BinningScheme.default_for_depth(depth).orders(bundle.orders.distances)
+        net = HierasNetwork(
+            bundle.space,
+            bundle.node_ids,
+            latency=bundle.peer_latency,
+            landmark_orders=orders,
+            depth=depth,
+        )
+        measured = measured_state_cost(net, sample=48, seed=seed)
+        ring_counts = [
+            float(len(net.rings_at_layer(layer))) for layer in range(2, depth + 1)
+        ]
+        model = state_cost_model(n_peers, depth, n_rings_per_layer=ring_counts)
+        rows.append(
+            {
+                "depth": depth,
+                "measured_entries": round(measured.total_entries, 1),
+                "model_entries": round(model.total_entries, 1),
+                "measured_bytes": int(measured.total_bytes),
+            }
+        )
+        pings = maintenance_traffic_cost(net, sample=64, seed=seed)
+        ping_rows.append({"depth": depth, **{k: round(v, 1) for k, v in pings.items()}})
+    ping_headers = ["depth"] + [f"layer{d}_mean_ping_ms" for d in range(1, 5)]
+    chord_entries = state_cost_model(n_peers, 1).total_entries
+    join_rows = _measure_join_costs(seed)
+    lines = [
+        f"{n_peers} peers, TS model, 6 landmarks "
+        f"(flat Chord: {chord_entries:.1f} entries/node)",
+        format_table(rows),
+        "",
+        "maintenance ping cost per layer (mean ms per successor ping):",
+        format_table(ping_rows, headers=ping_headers),
+        "",
+        "protocol join cost (mean messages per join, event-driven stack):",
+        format_table(join_rows),
+        "",
+        _claim(
+            all(r["measured_bytes"] < 10_000 for r in rows),
+            "multi-layer state stays in the hundreds-to-few-thousand bytes "
+            "range (§3.4: 'only hundred or thousands of bytes')",
+        ),
+        _claim(
+            all(
+                row[f"layer{d}_mean_ping_ms"] <= ping_rows[0]["layer1_mean_ping_ms"]
+                for row in ping_rows
+                for d in range(2, int(row["depth"]) + 1)
+            ),
+            "lower-layer maintenance pings are no more expensive than "
+            "global-ring pings (§3.4: lower-layer upkeep is affordable)",
+        ),
+    ]
+    return ExperimentResult(
+        "cost_analysis",
+        "Cost analysis — §3.4 state and maintenance overheads, quantified",
+        "\n".join(lines),
+        data={"state_rows": rows, "ping_rows": ping_rows},
+    )
+
+
+def _run_ablation_landmark_failure(full: bool, seed: int) -> ExperimentResult:
+    """Landmark failure (§2.3): drop landmarks, re-bin, re-measure.
+
+    "In case of a landmark node failure ... previous binned nodes only
+    need to drop the failed landmark(s) from their order information.
+    In this case, performance degrades."  We quantify the degradation.
+    """
+    n_peers = 4000 if full else 2000
+    n_req = _requests(full) // 2
+    config = SimConfig(model="ts", n_peers=n_peers, n_landmarks=6, depth=2, seed=seed)
+    bundle = build_bundle(config)
+    trace = make_trace(bundle, n_req)
+    chord = collect_routes(bundle.chord, trace)
+    rows = []
+    ratios = []
+    orders = bundle.orders
+    for failed in range(0, 4):
+        net = HierasNetwork(
+            bundle.space,
+            bundle.node_ids,
+            latency=bundle.peer_latency,
+            landmark_orders=orders,
+            depth=2,
+        )
+        sample = collect_routes(net, trace)
+        ratio = ratio_percent(sample.mean_latency_ms, chord.mean_latency_ms)
+        ratios.append(ratio)
+        rows.append(
+            {
+                "landmarks_failed": failed,
+                "landmarks_left": orders.n_landmarks,
+                "rings": len(net.rings_at_layer(2)),
+                "vs_chord_%": round(ratio, 1),
+            }
+        )
+        if failed < 3:
+            orders = orders.drop_landmark(0)
+    # §2.3's mitigation: "use multiple geographically closest nodes as
+    # one logical landmark" — losing one group member only perturbs the
+    # measured distance instead of deleting an order digit.
+    from repro.core.landmarks import LandmarkSet
+
+    model = bundle.peer_latency.model  # the router-level latency model
+    landmark_routers = bundle.attachment.landmark_routers
+    groups = []
+    for lm in landmark_routers:
+        delays = model.to_targets(int(lm), bundle.topology.stub_routers)
+        buddy = int(bundle.topology.stub_routers[int(np.argsort(delays)[1])])
+        groups.append(np.asarray([int(lm), buddy]))
+    logical = LandmarkSet.logical(groups)
+    base_orders = BinningScheme.default_for_depth(2).orders(
+        logical.measure(model, bundle.attachment.router_of_peer)
+    )
+    logical.members[0] = logical.members[0][1:]  # primary of group 0 dies
+    degraded_orders = BinningScheme.default_for_depth(2).orders(
+        logical.measure(model, bundle.attachment.router_of_peer)
+    )
+    unchanged = float(
+        np.mean(
+            [
+                base_orders.order_of(i) == degraded_orders.order_of(i)
+                for i in range(n_peers)
+            ]
+        )
+    )
+
+    lines = [
+        f"{n_peers} peers, TS model, 6 landmarks initially, {n_req} requests",
+        format_table(rows),
+        "",
+        f"logical-landmark mitigation: after one group member dies, "
+        f"{100 * unchanged:.1f}% of nodes keep their exact orders "
+        "(vs losing a whole order digit when a plain landmark dies)",
+        "",
+        _claim(
+            ratios[-1] >= ratios[0] - 1.0,
+            "performance degrades (or at best holds) as landmarks fail, "
+            "but the system keeps working on the survivors (§2.3)",
+        ),
+        _claim(
+            ratios[-1] < 95.0,
+            "even after half the landmarks fail, HIERAS still beats Chord",
+        ),
+        _claim(
+            unchanged > 0.85,
+            "logical landmarks absorb single-member failures (§2.3's "
+            "'multiple geographically closest nodes as one logical "
+            "landmark')",
+        ),
+    ]
+    return ExperimentResult(
+        "ablation_landmark_failure",
+        "Ablation — landmark failures (§2.3)",
+        "\n".join(lines),
+        data={"rows": rows, "logical_unchanged_fraction": unchanged},
+    )
+
+
+def _run_churn(full: bool, seed: int) -> ExperimentResult:
+    """Protocol-stack churn: correctness and upkeep under membership flux.
+
+    Two scenarios: a lossless network and one dropping 2% of messages —
+    the §3.3 machinery (stabilization, successor lists, ring-table
+    republish, join watchdog) must keep lookups correct in both.
+    """
+    from repro.experiments.churn_exp import run_churn_simulation
+
+    universe = 60 if full else 40
+    initial = 36 if full else 24
+    rows = []
+    ok = True
+    for loss in (0.0, 0.02):
+        stats = run_churn_simulation(
+            universe=universe, initial=initial, seed=seed, loss_rate=loss
+        )
+        accuracy = stats["correct"] / max(stats["completed"], 1.0)
+        # Lookups here are one-shot (no retries): under injected loss a
+        # few resolve through views that stabilization has not healed
+        # yet, so the floor is lower for the lossy scenario.
+        floor = 0.95 if loss == 0.0 else 0.90
+        ok = ok and stats["completed"] >= 100 and accuracy >= floor
+        rows.append(
+            {
+                "loss_rate": loss,
+                "live_nodes": int(stats["live"]),
+                "lookups": int(stats["completed"]),
+                "correct_%": round(100 * accuracy, 1),
+                "total_msgs": int(stats["messages"]),
+                "maintenance_msgs": int(stats["maintenance_msgs"]),
+                "lost_msgs": int(stats["messages_lost"]),
+            }
+        )
+    lines = [
+        f"universe {universe} peers (churning), 3 lower rings, Poisson sessions",
+        format_table(rows),
+        "",
+        _claim(
+            ok,
+            "one-shot lookups resolve to the correct live owner through "
+            "crashes, leaves and rejoins (>=95% lossless; >=90% under 2% "
+            "message loss, where stabilization heals slower) — §3.3's "
+            "maintenance machinery works",
+        ),
+    ]
+    return ExperimentResult(
+        "churn",
+        "Churn — the §3.3 protocol under membership churn",
+        "\n".join(lines),
+        data={"rows": rows},
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e
+    for e in [
+        Experiment(
+            "table1",
+            "Table 1 — distributed binning of sample nodes",
+            "orders 1012/1002/2200/2200/1020/0211; C and D share ring 2200",
+            _run_table1,
+        ),
+        Experiment(
+            "table2",
+            "Table 2 — two-layer finger tables",
+            "layer-2 successors stay inside the node's own ring",
+            _run_table2,
+        ),
+        Experiment(
+            "fig2",
+            "Figure 2 — hops vs network size",
+            "HIERAS within a few % of Chord; ~32% hop growth 1000→10000",
+            _run_fig2,
+        ),
+        Experiment(
+            "fig3",
+            "Figure 3 — latency vs network size",
+            "HIERAS ≈ 52%/53%/62% of Chord on TS/Inet/BRITE",
+            _run_fig3,
+        ),
+        Experiment(
+            "fig4",
+            "Figure 4 — hop-count PDF",
+            "distributions nearly coincide; ~71% of hops in lower rings",
+            _run_fig4,
+        ),
+        Experiment(
+            "fig5",
+            "Figure 5 — latency CDF",
+            "mean 276.53 vs 511.47 ms (54.07%); low-layer links ~35% the delay",
+            _run_fig5,
+        ),
+        Experiment(
+            "fig6",
+            "Figure 6 — hops vs landmark count",
+            "hop count varies little; lower-layer hops shrink with landmarks",
+            _run_fig6,
+        ),
+        Experiment(
+            "fig7",
+            "Figure 7 — latency vs landmark count",
+            "2 landmarks nearly useless; best ~43% of Chord around 8",
+            _run_fig7,
+        ),
+        Experiment(
+            "fig8",
+            "Figure 8 — hops vs hierarchy depth",
+            "depth adds at most ~1.65% hops",
+            _run_fig8,
+        ),
+        Experiment(
+            "fig9",
+            "Figure 9 — latency vs hierarchy depth",
+            "2→3 layers gains 9.6–16.2%; 3→4 gains ≤5.4%",
+            _run_fig9,
+        ),
+        Experiment(
+            "ablation_binning",
+            "Ablation — binning vs random rings",
+            "topological grouping, not hierarchy alone, delivers the win",
+            _run_ablation_binning,
+        ),
+        Experiment(
+            "ablation_succlist",
+            "Ablation — successor-list policy",
+            "acceleration trades hops for simplicity across policies",
+            _run_ablation_succlist,
+        ),
+        Experiment(
+            "ablation_can",
+            "Ablation — HIERAS over CAN",
+            "hierarchy transplants to CAN (§3.2)",
+            _run_ablation_can,
+        ),
+        Experiment(
+            "ablation_pastry",
+            "Ablation — Pastry comparison",
+            "future-work comparison vs a PNS low-latency DHT (§6)",
+            _run_ablation_pastry,
+        ),
+        Experiment(
+            "ablation_noise",
+            "Ablation — noisy ping binning",
+            "binning tolerates measurement noise (§2.2)",
+            _run_ablation_noise,
+        ),
+        Experiment(
+            "ablation_landmark_failure",
+            "Ablation — landmark failures",
+            "drop failed landmarks from orders; performance degrades (§2.3)",
+            _run_ablation_landmark_failure,
+        ),
+        Experiment(
+            "cost_analysis",
+            "Cost analysis — state & maintenance overheads",
+            "hundreds-to-thousands of bytes per node; cheap low-layer upkeep (§3.4)",
+            _run_cost_analysis,
+        ),
+        Experiment(
+            "churn",
+            "Churn — the §3.3 protocol under membership churn",
+            "join/leave/fail with stabilization; lookups stay correct",
+            _run_churn,
+        ),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up a registered experiment (ValueError with the id list)."""
+    if experiment_id not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def run_experiment(experiment_id: str, *, full: bool | None = None, seed: int = 42) -> ExperimentResult:
+    """Run one experiment end to end."""
+    return get_experiment(experiment_id).run(is_full_scale(full), seed)

@@ -1,0 +1,66 @@
+"""Base class for protocol nodes running on the event engine."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import Message, SimNetwork
+
+__all__ = ["SimNode"]
+
+
+class SimNode(ABC):
+    """One peer's protocol state machine.
+
+    Subclasses implement :meth:`handle_message`; helpers cover the
+    common send/reply/timer patterns.  ``alive`` gates delivery: a
+    failed node silently drops everything, like a crashed host.
+    """
+
+    def __init__(self, peer: int, sim: Simulator, network: SimNetwork) -> None:
+        self.peer = peer
+        self.sim = sim
+        self.network = network
+        self.alive = True
+        self._timers: list[EventHandle] = []
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def handle_message(self, message: Message) -> None:
+        """React to a delivered message."""
+
+    # ------------------------------------------------------------------
+    def send(self, dst: int, kind: str, *, token: int = 0, **payload: Any) -> None:
+        """Send a message to peer ``dst``."""
+        self.network.send(self.peer, dst, Message(kind=kind, sender=self.peer, payload=payload, token=token))
+
+    def reply(self, request: Message, kind: str, **payload: Any) -> None:
+        """Answer ``request``'s sender, echoing its correlation token."""
+        self.send(request.sender, kind, token=request.token, **payload)
+
+    def after(self, delay_ms: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule a local timer; cancelled automatically on failure."""
+        handle = self.sim.schedule(delay_ms, self._guarded, callback, args)
+        self._timers.append(handle)
+        if len(self._timers) > 64:  # drop spent handles
+            self._timers = [t for t in self._timers if t.alive]
+        return handle
+
+    def _guarded(self, callback: Callable[..., None], args: tuple[Any, ...]) -> None:
+        if self.alive:
+            callback(*args)
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash this node: timers stop, future messages are dropped."""
+        self.alive = False
+        for t in self._timers:
+            t.cancel()
+        self._timers.clear()
+
+    def recover(self) -> None:
+        """Bring a failed node back (protocol must re-join explicitly)."""
+        self.alive = True

@@ -1,0 +1,81 @@
+"""Graphviz DOT export for topologies and overlay structure.
+
+Dependency-free visual debugging: render the router graph (colour-coded
+by tier) or a HIERAS overlay's ring structure to DOT text, then feed it
+to ``dot -Tsvg`` wherever Graphviz is available.  Small inputs only —
+these are inspection tools, not plotting pipelines.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import ROUTER_TRANSIT, Topology
+from repro.util.validation import require
+
+__all__ = ["topology_to_dot", "rings_to_dot"]
+
+_RING_COLORS = [
+    "lightblue", "lightgreen", "lightsalmon", "plum", "khaki",
+    "lightcyan", "mistyrose", "palegreen", "lavender", "wheat",
+]
+
+
+def topology_to_dot(topology: Topology, *, max_routers: int = 400) -> str:
+    """Render a router graph as DOT (transit routers highlighted).
+
+    Refuses graphs above ``max_routers`` — beyond that the drawing is
+    unreadable and the string is megabytes.
+    """
+    require(
+        topology.n_routers <= max_routers,
+        f"topology has {topology.n_routers} routers; raise max_routers "
+        "explicitly if you really want this",
+    )
+    lines = [
+        "graph topology {",
+        "  layout=sfdp; overlap=false; node [shape=point, width=0.08];",
+    ]
+    for r in range(topology.n_routers):
+        if topology.kind[r] == ROUTER_TRANSIT:
+            lines.append(
+                f'  n{r} [shape=circle, width=0.2, style=filled, '
+                f'fillcolor=red, label=""];'
+            )
+    for (u, v), delay in zip(topology.edges, topology.delays):
+        lines.append(f"  n{int(u)} -- n{int(v)} [len={float(delay) / 20:.2f}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def rings_to_dot(hieras, *, layer: int = 2, max_peers: int = 300) -> str:
+    """Render a HIERAS layer's ring partition as DOT clusters.
+
+    Each lower-layer ring becomes a coloured cluster containing its
+    member peers (labelled with node ids), with the ring's name as the
+    cluster label — a picture of what the binning scheme produced.
+    """
+    require(
+        hieras.n_peers <= max_peers,
+        f"network has {hieras.n_peers} peers; raise max_peers explicitly",
+    )
+    rings = hieras.rings_at_layer(layer)
+    lines = ["graph rings {", "  layout=fdp; node [shape=ellipse, fontsize=8];"]
+    for idx, (name, ring) in enumerate(sorted(rings.items())):
+        color = _RING_COLORS[idx % len(_RING_COLORS)]
+        lines.append(f"  subgraph cluster_{idx} {{")
+        lines.append(f'    label="ring {name} ({len(ring)} peers)";')
+        lines.append(f"    style=filled; fillcolor={color};")
+        for pos in range(len(ring)):
+            peer = int(ring.peers[pos])
+            lines.append(f'    p{peer} [label="{int(ring.ids[pos])}"];')
+        lines.append("  }")
+    # Draw each ring's successor cycle so the Chord structure is visible.
+    for name, ring in sorted(rings.items()):
+        n = len(ring)
+        if n < 2:
+            continue
+        for pos in range(n):
+            a = int(ring.peers[pos])
+            b = int(ring.peers[(pos + 1) % n])
+            lines.append(f"  p{a} -- p{b};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Inet-style power-law internetwork generator (re-implementation).
+
+Inet (Jin, Chen & Jamin — paper reference [18]) generates AS-level
+Internet topologies whose degree sequence follows the empirically
+observed power laws.  The original tool's exact empirical fits are not
+redistributable, so this module reproduces the *mechanics* that matter
+to HIERAS:
+
+1. Node degrees drawn from a discrete power law ``P(d) ∝ d^-alpha``.
+2. A spanning tree built by degree-preferential attachment guarantees
+   connectivity (Inet likewise wires its spanning tree among
+   high-degree nodes first).
+3. Remaining degree stubs matched preferentially, rejecting self loops
+   and parallel edges.
+4. Routers are placed in a plane and link delays derive from Euclidean
+   distance, giving geographically correlated latencies — the property
+   the distributed binning scheme exploits.
+
+As in the paper (§4.1), Inet networks are only generated with at least
+3000 nodes (the original tool refuses smaller ones because the power-law
+fit breaks down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.base import ROUTER_STUB, Topology
+from repro.topology.placement import place_nodes
+from repro.util.rng import make_rng
+from repro.util.validation import require
+
+__all__ = ["InetParams", "generate_inet", "INET_MIN_NODES"]
+
+#: The original Inet generator requires >= 3037 nodes; the paper rounds
+#: this to "the minimal number of nodes is 3000" (§4.1).  We enforce the
+#: paper's bound.
+INET_MIN_NODES = 3000
+
+
+@dataclass(frozen=True)
+class InetParams:
+    """Parameters of the Inet-style generator."""
+
+    n_nodes: int = 3000
+    #: Power-law exponent of the degree distribution.  Inet's fits of
+    #: 2000-era BGP tables give exponents a little over 2.
+    degree_exponent: float = 2.1
+    #: Hard cap on a single node's degree, as a fraction of ``n_nodes``.
+    max_degree_fraction: float = 0.05
+    #: Side length (ms of propagation at unit speed) of the placement
+    #: plane; link delay = Euclidean distance, floored at
+    #: ``min_link_delay``.
+    plane_size: float = 250.0
+    min_link_delay: float = 1.0
+    #: Geographic locality of link formation: attachment weights are
+    #: multiplied by ``exp(-d / (locality_beta * plane_size))``, so
+    #: links are mostly short and end-to-end delays correlate with
+    #: distance — the structure real AS paths exhibit and the
+    #: distributed binning scheme requires.  ``None`` disables locality
+    #: (pure preferential attachment; every pair then looks equally far
+    #: and binning degenerates to a single ring).
+    locality_beta: float | None = 0.05
+    #: Candidate partners sampled per leftover degree stub when
+    #: locality is enabled.
+    match_candidates: int = 24
+    #: Cluster routers around this many hotspots (None = uniform).
+    #: AS geography is strongly clustered; clustering is what makes
+    #: intra-region delays small relative to the backbone.
+    n_hotspots: int | None = 8
+    hotspot_sigma_fraction: float = 0.02
+    #: Enforce the original tool's minimum size when True.
+    enforce_min_nodes: bool = True
+
+    def __post_init__(self) -> None:
+        require(self.n_nodes >= 16, "Inet graphs need >= 16 nodes")
+        if self.enforce_min_nodes:
+            require(
+                self.n_nodes >= INET_MIN_NODES,
+                f"Inet requires >= {INET_MIN_NODES} nodes (got {self.n_nodes}); "
+                "pass enforce_min_nodes=False to override in tests",
+            )
+        require(self.degree_exponent > 1.0, "degree_exponent must exceed 1")
+        require(0 < self.max_degree_fraction <= 1.0, "max_degree_fraction in (0,1]")
+
+
+def _power_law_degrees(params: InetParams, rng: np.random.Generator) -> np.ndarray:
+    """Sample a graphical power-law degree sequence."""
+    n = params.n_nodes
+    dmax = max(3, int(params.max_degree_fraction * n))
+    support = np.arange(1, dmax + 1, dtype=np.float64)
+    pmf = support ** (-params.degree_exponent)
+    pmf /= pmf.sum()
+    degrees = rng.choice(np.arange(1, dmax + 1), size=n, p=pmf)
+    # The handshake lemma needs an even stub count; also make sure a few
+    # hubs exist so the preferential tree has somewhere to attach.
+    if degrees.sum() % 2 == 1:
+        degrees[int(np.argmin(degrees))] += 1
+    return degrees.astype(np.int64)
+
+
+def generate_inet(
+    params: InetParams | None = None,
+    *,
+    seed: int | np.random.Generator = 0,
+) -> Topology:
+    """Generate an Inet-style power-law topology.
+
+    Examples
+    --------
+    >>> topo = generate_inet(InetParams(n_nodes=3000), seed=7)
+    >>> topo.is_connected()
+    True
+    """
+    params = params or InetParams()
+    rng = make_rng(seed)
+    n = params.n_nodes
+
+    degrees = _power_law_degrees(params, rng)
+    order = np.argsort(-degrees)  # highest degree first, like Inet's core
+
+    coords = place_nodes(
+        n,
+        params.plane_size,
+        rng,
+        n_hotspots=params.n_hotspots,
+        hotspot_sigma_fraction=params.hotspot_sigma_fraction,
+    )
+
+    beta_ms = (
+        params.locality_beta * params.plane_size
+        if params.locality_beta is not None
+        else None
+    )
+
+    # Spanning tree by (locality-weighted) preferential attachment over
+    # already-placed nodes.
+    edge_set: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+    residual = degrees.astype(np.float64).copy()
+
+    placed: list[int] = [int(order[0])]
+    attach_weight = np.zeros(n, dtype=np.float64)
+    attach_weight[order[0]] = residual[order[0]]
+    for idx in order[1:]:
+        idx = int(idx)
+        placed_arr = np.asarray(placed)
+        weights = attach_weight[placed_arr]
+        if beta_ms is not None:
+            d = np.hypot(
+                coords[placed_arr, 0] - coords[idx, 0],
+                coords[placed_arr, 1] - coords[idx, 1],
+            )
+            weights = weights * np.exp(-d / beta_ms)
+        total = weights.sum()
+        probs = weights / total if total > 0 else None
+        parent = int(placed_arr[int(rng.choice(len(placed_arr), p=probs))])
+        pair = (min(idx, parent), max(idx, parent))
+        edge_set.add(pair)
+        edges.append(pair)
+        residual[idx] -= 1
+        residual[parent] -= 1
+        placed.append(idx)
+        attach_weight[idx] = max(residual[idx], 0.25)
+        attach_weight[parent] = max(residual[parent], 0.25)
+
+    # Match remaining stubs: configuration model with rejection, with
+    # Waxman-weighted partner choice when locality is enabled.
+    stubs = np.repeat(np.arange(n), np.maximum(residual, 0).astype(np.int64))
+    rng.shuffle(stubs)
+    misses = 0
+    if beta_ms is None:
+        for i in range(0, len(stubs) - 1, 2):
+            a, b = int(stubs[i]), int(stubs[i + 1])
+            pair = (min(a, b), max(a, b))
+            if a == b or pair in edge_set:
+                misses += 1
+                continue
+            edge_set.add(pair)
+            edges.append(pair)
+    else:
+        remaining = list(stubs)
+        while len(remaining) >= 2:
+            a = int(remaining.pop())
+            k = min(params.match_candidates, len(remaining))
+            cand_idx = rng.choice(len(remaining), size=k, replace=False)
+            cand = np.asarray([remaining[int(i)] for i in cand_idx])
+            d = np.hypot(coords[cand, 0] - coords[a, 0], coords[cand, 1] - coords[a, 1])
+            w = np.exp(-d / beta_ms)
+            valid = cand != a
+            if not valid.any() or w[valid].sum() <= 0:
+                misses += 1
+                continue
+            pick = int(rng.choice(np.flatnonzero(valid), p=w[valid] / w[valid].sum()))
+            b = int(cand[pick])
+            pair = (min(a, b), max(a, b))
+            if pair in edge_set:
+                misses += 1
+                continue
+            del remaining[int(cand_idx[pick])]
+            edge_set.add(pair)
+            edges.append(pair)
+
+    edges_arr = np.asarray(edges, dtype=np.int64)
+    diffs = coords[edges_arr[:, 0]] - coords[edges_arr[:, 1]]
+    delays = np.maximum(np.hypot(diffs[:, 0], diffs[:, 1]), params.min_link_delay)
+
+    return Topology(
+        n_routers=n,
+        edges=edges_arr,
+        delays=np.round(delays),
+        kind=np.full(n, ROUTER_STUB, dtype=np.uint8),
+        coords=coords,
+        name="inet",
+        meta={
+            "degree_exponent": params.degree_exponent,
+            "rejected_stub_pairs": misses,
+        },
+    )

@@ -1,0 +1,243 @@
+"""Latency models: pairwise shortest-path delay queries.
+
+Three strategies, all implementing :class:`repro.topology.base.LatencyModel`:
+
+* :class:`TransitStubLatencyModel` — **exact, O(1)-per-query,
+  memory-light** model for transit-stub topologies.  Because every stub
+  domain hangs off the core through a single border link, a shortest
+  path decomposes as ``stub → border → core → border → stub`` and the
+  model only stores per-stub APSP blocks plus the (tiny) transit-core
+  APSP.  This is what makes paper-scale simulation (10 000 routers,
+  100 000 requests × ~13 hops) cheap.
+* :class:`APSPLatencyModel` — full all-pairs matrix for general graphs
+  (Inet, BRITE).  Computed with chunked Dijkstra sweeps and stored as
+  ``uint16`` milliseconds (link delays are integral, so the rounding is
+  exact): 10 000 routers cost 200 MB.
+* :class:`CoordinateLatencyModel` — Euclidean delays from plane
+  coordinates; used by synthetic tests and micro-examples.
+
+:class:`NoisyLatencyModel` wraps any model with multiplicative
+measurement noise, emulating the paper's observation (§2.2) that *ping*
+is "not very accurate" yet adequate for the binning scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra
+
+from repro.topology.base import LatencyModel, Topology
+from repro.topology.transit_stub import TransitStubTopology
+from repro.util.rng import make_rng
+from repro.util.validation import require
+
+__all__ = [
+    "APSPLatencyModel",
+    "TransitStubLatencyModel",
+    "CoordinateLatencyModel",
+    "NoisyLatencyModel",
+    "latency_model_for",
+]
+
+
+class APSPLatencyModel(LatencyModel):
+    """All-pairs shortest-path delays stored as a ``uint16`` matrix.
+
+    Parameters
+    ----------
+    topology:
+        Source graph; link delays must be integral milliseconds (they
+        are, for every generator in :mod:`repro.topology`) so that the
+        ``uint16`` quantisation is exact.
+    chunk:
+        Number of Dijkstra source rows computed per sweep; bounds peak
+        ``float64`` scratch memory at ``chunk * n_routers * 8`` bytes.
+    """
+
+    def __init__(self, topology: Topology, *, chunk: int = 1024) -> None:
+        require(chunk >= 1, "chunk must be >= 1")
+        n = topology.n_routers
+        matrix = np.empty((n, n), dtype=np.uint16)
+        csr = topology.csr()
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            block = dijkstra(csr, directed=False, indices=np.arange(start, stop))
+            if np.isinf(block).any():
+                raise ValueError("topology is disconnected; latency undefined")
+            require(float(block.max()) < 65535, "path delay overflows uint16 ms")
+            matrix[start:stop] = np.round(block).astype(np.uint16)
+        self._matrix = matrix
+        self.n_routers = n
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full ``(n, n)`` delay matrix in ms (read-only view)."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    def pair(self, u: int, v: int) -> float:
+        return float(self._matrix[u, v])
+
+    def pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        return self._matrix[np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)].astype(
+            np.float64
+        )
+
+    def to_targets(self, source: int, targets: np.ndarray) -> np.ndarray:
+        return self._matrix[source, np.asarray(targets, dtype=np.int64)].astype(np.float64)
+
+
+class TransitStubLatencyModel(LatencyModel):
+    """Exact hierarchical latency model for transit-stub topologies.
+
+    Correctness rests on two structural facts of
+    :func:`repro.topology.transit_stub.generate_transit_stub` output:
+
+    1. every stub domain has exactly one border uplink, so no shortest
+       path between routers outside a stub ever crosses it (it would
+       have to enter and leave through the same link);
+    2. within a stub, the internal shortest path never benefits from a
+       detour through the core (the detour re-crosses the 20 ms uplink
+       twice and, by the triangle inequality on the stub's own metric,
+       cannot beat the internal path).
+
+    ``tests/test_latency.py`` cross-checks this model against plain
+    Dijkstra on every generated instance.
+    """
+
+    def __init__(self, topology: TransitStubTopology) -> None:
+        require(
+            isinstance(topology, TransitStubTopology),
+            "TransitStubLatencyModel requires a TransitStubTopology",
+        )
+        self.topology = topology
+        n = topology.n_routers
+        n_transit = len(topology.transit_routers)
+        params = topology.params
+
+        # Core APSP on the transit-only subgraph (transit routers are
+        # laid out first, so the submatrix slice is contiguous).
+        core_csr = topology.csr()[:n_transit, :n_transit]
+        core = dijkstra(core_csr, directed=False)
+        if np.isinf(core).any():
+            raise ValueError("transit core is disconnected")
+        self._core = core
+
+        # Per-stub APSP blocks over intra-stub links only.
+        stub_size = params.stub_domain_size
+        n_stubs = topology.n_stub_domains
+        blocks = np.zeros((n_stubs, stub_size, stub_size), dtype=np.float32)
+        full_csr = topology.csr()
+        for dom in range(n_stubs):
+            members = topology.routers_of_domain(dom)
+            sub = full_csr[np.ix_(members, members)]
+            block = dijkstra(sub, directed=False)
+            if np.isinf(block).any():
+                raise ValueError(f"stub domain {dom} is internally disconnected")
+            blocks[dom] = block
+        self._stub_blocks = blocks
+
+        # Per-router precomputation for vectorised queries.
+        dom_of = topology.stub_domain_of
+        is_stub = dom_of >= 0
+        border_local = topology.local_index[topology.border_router_of_domain]
+        self._border_dist = np.zeros(n, dtype=np.float64)
+        stub_ids = np.flatnonzero(is_stub)
+        self._border_dist[stub_ids] = blocks[
+            dom_of[stub_ids], topology.local_index[stub_ids], border_local[dom_of[stub_ids]]
+        ]
+        self._uplink = np.where(is_stub, params.stub_transit_delay, 0.0)
+        self._gateway = np.arange(n, dtype=np.int64)
+        self._gateway[stub_ids] = topology.gateway_of_domain[dom_of[stub_ids]]
+        self._dom_of = dom_of
+        self._local = topology.local_index
+
+    def pair(self, u: int, v: int) -> float:
+        return float(self.pairs(np.asarray([u]), np.asarray([v]))[0])
+
+    def pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        out = (
+            self._border_dist[us]
+            + self._border_dist[vs]
+            + self._uplink[us]
+            + self._uplink[vs]
+            + self._core[self._gateway[us], self._gateway[vs]]
+        )
+        same = (self._dom_of[us] == self._dom_of[vs]) & (self._dom_of[us] >= 0)
+        if same.any():
+            su, sv = us[same], vs[same]
+            out[same] = self._stub_blocks[self._dom_of[su], self._local[su], self._local[sv]]
+        return out
+
+
+class CoordinateLatencyModel(LatencyModel):
+    """Euclidean delays from plane coordinates.
+
+    A synthetic stand-in used by unit tests and micro-examples where no
+    router graph exists; delay between two points is their Euclidean
+    distance times ``scale`` milliseconds.
+    """
+
+    def __init__(self, coords: np.ndarray, *, scale: float = 1.0) -> None:
+        coords = np.asarray(coords, dtype=np.float64)
+        require(coords.ndim == 2 and coords.shape[1] == 2, "coords must be (n, 2)")
+        require(scale > 0, "scale must be positive")
+        self.coords = coords
+        self.scale = float(scale)
+
+    def pair(self, u: int, v: int) -> float:
+        return float(self.pairs(np.asarray([u]), np.asarray([v]))[0])
+
+    def pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        a = self.coords[np.asarray(us, dtype=np.int64)]
+        b = self.coords[np.asarray(vs, dtype=np.int64)]
+        return np.hypot(a[:, 0] - b[:, 0], a[:, 1] - b[:, 1]) * self.scale
+
+
+class NoisyLatencyModel(LatencyModel):
+    """Wraps a latency model with multiplicative *ping* noise.
+
+    Each query is perturbed by an independent lognormal factor with the
+    given ``sigma``; used by the binning-noise ablation to emulate
+    imprecise latency measurement (paper §2.2).  Because noise is drawn
+    per query, this wrapper is intended for *measurement* paths (the
+    binning scheme), not for routing-latency accounting.
+    """
+
+    def __init__(
+        self,
+        inner: LatencyModel,
+        *,
+        sigma: float = 0.2,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        require(sigma >= 0, "sigma must be >= 0")
+        self.inner = inner
+        self.sigma = float(sigma)
+        self._rng = make_rng(seed)
+
+    def pair(self, u: int, v: int) -> float:
+        return float(self.pairs(np.asarray([u]), np.asarray([v]))[0])
+
+    def pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        clean = self.inner.pairs(us, vs)
+        if self.sigma == 0:
+            return clean
+        noise = self._rng.lognormal(mean=0.0, sigma=self.sigma, size=len(clean))
+        return clean * noise
+
+
+def latency_model_for(topology: Topology, **kwargs: object) -> LatencyModel:
+    """Pick the best latency model for a topology.
+
+    Transit-stub instances get the exact hierarchical model — unless the
+    generator added redundancy edges (extra uplinks / stub-stub links),
+    which break its single-uplink precondition; those, and every general
+    graph, get the APSP matrix.
+    """
+    if isinstance(topology, TransitStubTopology) and not topology.params.has_shortcuts:
+        return TransitStubLatencyModel(topology)
+    return APSPLatencyModel(topology, **kwargs)  # type: ignore[arg-type]

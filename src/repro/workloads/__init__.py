@@ -1,0 +1,21 @@
+"""Workload generation: lookup traces and churn schedules.
+
+The paper's evaluation drives every experiment with "100000 randomly
+generated routing requests" (§4.2); :mod:`repro.workloads.requests`
+generates those traces (plus Zipf-popularity variants for the example
+applications).  :mod:`repro.workloads.churn` builds join/leave schedules
+for the protocol-stack experiments the paper's §3.3–3.4 cost discussion
+motivates.
+"""
+
+from repro.workloads.churn import ChurnEvent, ChurnSchedule, generate_churn
+from repro.workloads.requests import RequestTrace, generate_requests, zipf_weights
+
+__all__ = [
+    "RequestTrace",
+    "generate_requests",
+    "zipf_weights",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "generate_churn",
+]

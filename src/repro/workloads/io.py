@@ -1,0 +1,98 @@
+"""Persistence for traces and measurement samples.
+
+Reproduction workflows often split generation from measurement (e.g.
+generating the paper's 100 000-request trace once and replaying it
+against several configurations).  This module saves/loads
+:class:`~repro.workloads.requests.RequestTrace` and
+:class:`~repro.analysis.stats.RouteSample` in NumPy's ``.npz`` format
+(compact, exact) and exports per-request results as JSON-lines for
+external analysis tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.stats import RouteSample
+from repro.util.validation import require
+from repro.workloads.requests import RequestTrace
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_sample",
+    "load_sample",
+    "export_sample_jsonl",
+]
+
+
+def save_trace(trace: RequestTrace, path: str | Path) -> None:
+    """Write a request trace to ``path`` (``.npz``)."""
+    np.savez_compressed(Path(path), sources=trace.sources, keys=trace.keys)
+
+
+def load_trace(path: str | Path) -> RequestTrace:
+    """Read a request trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        require(
+            "sources" in data and "keys" in data,
+            f"{path} is not a saved request trace",
+        )
+        return RequestTrace(sources=data["sources"], keys=data["keys"])
+
+
+_SAMPLE_FIELDS = (
+    "hops",
+    "latency_ms",
+    "low_layer_hops",
+    "top_layer_hops",
+    "low_layer_latency_ms",
+)
+
+
+def save_sample(sample: RouteSample, path: str | Path) -> None:
+    """Write a measurement sample to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        Path(path), **{name: getattr(sample, name) for name in _SAMPLE_FIELDS}
+    )
+
+
+def load_sample(path: str | Path) -> RouteSample:
+    """Read a sample written by :func:`save_sample`."""
+    with np.load(Path(path)) as data:
+        require(
+            all(name in data for name in _SAMPLE_FIELDS),
+            f"{path} is not a saved route sample",
+        )
+        return RouteSample(**{name: data[name] for name in _SAMPLE_FIELDS})
+
+
+def export_sample_jsonl(
+    sample: RouteSample, trace: RequestTrace, path: str | Path
+) -> int:
+    """Write one JSON object per request: inputs and measured outputs.
+
+    Returns the number of lines written.  Handy for loading results
+    into pandas/duckdb without importing this package.
+    """
+    require(len(sample) == len(trace), "sample and trace must align")
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for i, (source, key) in enumerate(trace):
+            fh.write(
+                json.dumps(
+                    {
+                        "source": source,
+                        "key": key,
+                        "hops": int(sample.hops[i]),
+                        "latency_ms": float(sample.latency_ms[i]),
+                        "low_layer_hops": int(sample.low_layer_hops[i]),
+                        "top_layer_hops": int(sample.top_layer_hops[i]),
+                    }
+                )
+                + "\n"
+            )
+    return len(sample)

@@ -1,0 +1,131 @@
+"""Tests for overlay attachment and landmark placement."""
+
+import numpy as np
+import pytest
+
+from repro.topology.attach import (
+    OverlayAttachment,
+    PeerLatencyView,
+    attach_overlay,
+    place_landmarks,
+)
+from repro.topology.base import ROUTER_STUB
+
+
+class TestAttachOverlay:
+    def test_distinct_by_default(self, small_topology, rng):
+        routers = attach_overlay(small_topology, 100, seed=rng)
+        assert len(np.unique(routers)) == 100
+
+    def test_stub_routers_only(self, small_topology, rng):
+        routers = attach_overlay(small_topology, 100, seed=rng)
+        assert np.all(small_topology.kind[routers] == ROUTER_STUB)
+
+    def test_not_sorted(self, small_topology):
+        routers = attach_overlay(small_topology, 150, seed=0)
+        assert not np.all(routers[1:] >= routers[:-1])
+
+    def test_with_replacement_when_oversubscribed(self, small_topology):
+        n_stub = len(small_topology.stub_routers)
+        routers = attach_overlay(small_topology, n_stub + 50, seed=0)
+        assert len(routers) == n_stub + 50
+
+    def test_deterministic(self, small_topology):
+        a = attach_overlay(small_topology, 50, seed=9)
+        b = attach_overlay(small_topology, 50, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero_peers(self, small_topology):
+        with pytest.raises(ValueError):
+            attach_overlay(small_topology, 0)
+
+
+class TestPlaceLandmarks:
+    def test_count_and_distinct(self, small_topology, small_latency):
+        lms = place_landmarks(small_topology, small_latency, 6, seed=1)
+        assert len(lms) == 6
+        assert len(np.unique(lms)) == 6
+
+    def test_spread_beats_random_dispersion(self, small_topology, small_latency):
+        """Max–min placement should produce landmarks at least as far
+        apart (min pairwise delay) as random placement, on average."""
+
+        def min_pairwise(lms):
+            pairs = [
+                small_latency.pair(int(a), int(b))
+                for i, a in enumerate(lms)
+                for b in lms[i + 1 :]
+            ]
+            return min(pairs)
+
+        spread = np.mean(
+            [
+                min_pairwise(
+                    place_landmarks(small_topology, small_latency, 4, seed=s, strategy="spread")
+                )
+                for s in range(5)
+            ]
+        )
+        rand = np.mean(
+            [
+                min_pairwise(
+                    place_landmarks(small_topology, small_latency, 4, seed=s, strategy="random")
+                )
+                for s in range(5)
+            ]
+        )
+        assert spread >= rand
+
+    def test_unknown_strategy(self, small_topology, small_latency):
+        with pytest.raises(ValueError):
+            place_landmarks(small_topology, small_latency, 3, strategy="bogus")
+
+    def test_too_many_landmarks(self, small_topology, small_latency):
+        with pytest.raises(ValueError):
+            place_landmarks(
+                small_topology,
+                small_latency,
+                len(small_topology.stub_routers) + 1,
+            )
+
+    def test_deterministic(self, small_topology, small_latency):
+        a = place_landmarks(small_topology, small_latency, 5, seed=3)
+        b = place_landmarks(small_topology, small_latency, 5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestOverlayAttachment:
+    def test_landmark_distances_shape_and_values(
+        self, small_deployment, small_latency
+    ):
+        attachment, _, _, _ = small_deployment
+        d = attachment.landmark_distances(small_latency)
+        assert d.shape == (attachment.n_peers, attachment.n_landmarks)
+        # Spot-check one cell against a direct query.
+        assert d[3, 1] == small_latency.pair(
+            int(attachment.router_of_peer[3]), int(attachment.landmark_routers[1])
+        )
+
+    def test_peer_latency_view_maps_indices(self, small_deployment, small_latency):
+        attachment, view, _, _ = small_deployment
+        assert isinstance(view, PeerLatencyView)
+        u, v = 7, 42
+        expected = small_latency.pair(
+            int(attachment.router_of_peer[u]), int(attachment.router_of_peer[v])
+        )
+        assert view.pair(u, v) == expected
+        np.testing.assert_array_equal(
+            view.pairs(np.asarray([u]), np.asarray([v])), np.asarray([expected])
+        )
+
+    def test_view_to_targets(self, small_deployment):
+        _, view, _, _ = small_deployment
+        targets = np.asarray([0, 1, 2])
+        np.testing.assert_array_equal(
+            view.to_targets(5, targets), view.pairs(np.full(3, 5), targets)
+        )
+
+    def test_counts(self, small_deployment):
+        attachment, _, _, _ = small_deployment
+        assert attachment.n_peers == 200
+        assert attachment.n_landmarks == 4

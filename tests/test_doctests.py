@@ -1,0 +1,37 @@
+"""Run the documentation examples embedded in module docstrings.
+
+Keeps the docs honest: every ``>>>`` example in these modules must
+execute and produce the shown output.
+"""
+
+import doctest
+
+import pytest
+
+import repro._facade
+import repro.analysis.tables
+import repro.core.binning
+import repro.sim.engine
+import repro.util.ids
+import repro.util.intervals
+
+MODULES = [
+    repro.util.ids,
+    repro.util.intervals,
+    repro.sim.engine,
+    repro.core.binning,
+    repro.analysis.tables,
+    repro._facade,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+def test_doctests_actually_exist():
+    """Guard against silently passing because nothing was collected."""
+    total = sum(doctest.testmod(m).attempted for m in MODULES)
+    assert total >= 8

@@ -1,0 +1,57 @@
+"""Tests for DOT export helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import BinningScheme
+from repro.core.hieras import HierasNetwork
+from repro.topology.export import rings_to_dot, topology_to_dot
+from repro.topology.transit_stub import TransitStubParams, generate_transit_stub
+from repro.util.ids import IdSpace
+
+
+class TestTopologyDot:
+    def test_valid_dot_structure(self):
+        topo = generate_transit_stub(TransitStubParams.for_size(100), seed=1)
+        dot = topology_to_dot(topo)
+        assert dot.startswith("graph topology {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -- ") == topo.n_edges
+        # Transit routers get highlighted nodes.
+        assert dot.count("fillcolor=red") == len(topo.transit_routers)
+
+    def test_size_guard(self):
+        topo = generate_transit_stub(TransitStubParams.for_size(1000), seed=1)
+        with pytest.raises(ValueError, match="max_routers"):
+            topology_to_dot(topo)
+        assert topology_to_dot(topo, max_routers=topo.n_routers)
+
+
+class TestRingsDot:
+    @pytest.fixture(scope="class")
+    def hieras(self):
+        rng = np.random.default_rng(2)
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(40, rng)
+        orders = BinningScheme.default_for_depth(2).orders(
+            rng.uniform(0, 300, size=(40, 4))
+        )
+        return HierasNetwork(space, ids, landmark_orders=orders, depth=2)
+
+    def test_clusters_per_ring(self, hieras):
+        dot = rings_to_dot(hieras)
+        assert dot.count("subgraph cluster_") == len(hieras.rings_at_layer(2))
+        # Every peer appears exactly once as a node declaration.
+        assert dot.count("[label=") >= hieras.n_peers
+
+    def test_cycles_drawn(self, hieras):
+        dot = rings_to_dot(hieras)
+        edges = dot.count(" -- ")
+        expected = sum(
+            len(r) for r in hieras.rings_at_layer(2).values() if len(r) >= 2
+        )
+        assert edges == expected
+
+    def test_size_guard(self, hieras):
+        with pytest.raises(ValueError, match="max_peers"):
+            rings_to_dot(hieras, max_peers=10)

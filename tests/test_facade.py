@@ -1,0 +1,67 @@
+"""Tests for the quick_network facade."""
+
+import pytest
+
+from repro import NetworkBundle, quick_network
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return quick_network(n_peers=96, n_landmarks=4, depth=2, seed=5)
+
+
+class TestQuickNetwork:
+    def test_bundle_type_and_fields(self, bundle):
+        assert isinstance(bundle, NetworkBundle)
+        assert bundle.hieras.n_peers == 96
+        assert bundle.chord.n_peers == 96
+        assert bundle.attachment.n_landmarks == 4
+        assert bundle.topology.is_connected()
+
+    def test_route_and_route_chord_agree(self, bundle):
+        for key in (0, 12345, 2**31):
+            assert bundle.route(0, key).owner == bundle.route_chord(0, key).owner
+
+    def test_deterministic(self):
+        a = quick_network(n_peers=64, seed=9)
+        b = quick_network(n_peers=64, seed=9)
+        ra = a.route(3, 777)
+        rb = b.route(3, 777)
+        assert ra.path == rb.path
+        assert ra.latency_ms == rb.latency_ms
+
+    def test_seed_changes_network(self):
+        a = quick_network(n_peers=64, seed=1)
+        b = quick_network(n_peers=64, seed=2)
+        assert a.hieras.id_of(0) != b.hieras.id_of(0) or a.route(0, 5).path != b.route(0, 5).path
+
+    def test_depth_parameter(self):
+        bundle = quick_network(n_peers=64, depth=3, seed=3)
+        assert bundle.hieras.depth == 3
+        assert len(bundle.route(0, 99).hops_per_layer) == 3
+
+    def test_latency_wiring(self, bundle):
+        """The bundle's peer latency view must drive route latencies."""
+        r = bundle.route(1, 424242)
+        if r.hops:
+            manual = sum(
+                bundle.peer_latency.pair(a, b)
+                for a, b in zip(r.path[:-1], r.path[1:])
+            )
+            assert r.latency_ms == pytest.approx(manual)
+
+
+class TestModelParameter:
+    def test_brite_model(self):
+        bundle = quick_network(n_peers=80, seed=2, model="brite")
+        assert bundle.topology.name == "brite"
+        r = bundle.route(0, 555)
+        assert r.owner == bundle.route_chord(0, 555).owner
+
+    def test_inet_floor_enforced(self):
+        with pytest.raises(ValueError, match="3000"):
+            quick_network(n_peers=100, model="inet")
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            quick_network(n_peers=64, model="grid")

@@ -1,0 +1,142 @@
+"""Tests for the Inet-style and BRITE-style generators."""
+
+import numpy as np
+import pytest
+
+from repro.topology.brite import BriteParams, generate_brite
+from repro.topology.inet import INET_MIN_NODES, InetParams, generate_inet
+from repro.topology.latency import APSPLatencyModel
+from repro.topology.placement import place_nodes
+
+
+def small_inet(**kw):
+    kw.setdefault("n_nodes", 400)
+    kw.setdefault("enforce_min_nodes", False)
+    return InetParams(**kw)
+
+
+class TestInet:
+    def test_enforces_paper_minimum(self):
+        with pytest.raises(ValueError, match="3000"):
+            InetParams(n_nodes=1000)
+        assert InetParams(n_nodes=INET_MIN_NODES).n_nodes == INET_MIN_NODES
+
+    def test_override_for_tests(self):
+        assert small_inet().n_nodes == 400
+
+    def test_connected(self):
+        topo = generate_inet(small_inet(), seed=1)
+        assert topo.is_connected()
+
+    def test_deterministic(self):
+        a = generate_inet(small_inet(), seed=2)
+        b = generate_inet(small_inet(), seed=2)
+        np.testing.assert_array_equal(a.edges, b.edges)
+
+    def test_power_law_hubs_exist(self):
+        topo = generate_inet(small_inet(n_nodes=800), seed=3)
+        deg = topo.degree()
+        # A power-law graph has hubs far above the median degree.
+        assert deg.max() >= 8 * np.median(deg)
+        assert np.median(deg) <= 3
+
+    def test_delays_positive_integers(self):
+        topo = generate_inet(small_inet(), seed=1)
+        assert topo.delays.min() >= 1.0
+        np.testing.assert_array_equal(topo.delays, np.round(topo.delays))
+
+    def test_coords_present(self):
+        topo = generate_inet(small_inet(), seed=1)
+        assert topo.coords is not None and topo.coords.shape == (400, 2)
+
+    def test_locality_makes_links_short(self):
+        local = generate_inet(small_inet(locality_beta=0.05), seed=4)
+        anywhere = generate_inet(small_inet(locality_beta=None), seed=4)
+        assert local.delays.mean() < 0.6 * anywhere.delays.mean()
+
+    def test_latency_has_geography(self):
+        """Close pairs must be much cheaper than far ones, else the
+        binning scheme has nothing to exploit (the fig3 divergence we
+        debugged is exactly this regression)."""
+        topo = generate_inet(small_inet(), seed=5)
+        model = APSPLatencyModel(topo)
+        rng = np.random.default_rng(0)
+        us = rng.integers(0, 400, 4000)
+        vs = rng.integers(0, 400, 4000)
+        d = model.pairs(us, vs)
+        geo = np.hypot(*(topo.coords[us] - topo.coords[vs]).T)
+        near = d[geo < np.percentile(geo, 20)]
+        far = d[geo > np.percentile(geo, 80)]
+        assert near.mean() < 0.6 * far.mean()
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            small_inet(degree_exponent=1.0)
+
+
+class TestBrite:
+    def test_connected(self):
+        topo = generate_brite(BriteParams(n_nodes=300), seed=1)
+        assert topo.is_connected()
+
+    def test_deterministic(self):
+        a = generate_brite(BriteParams(n_nodes=300), seed=2)
+        b = generate_brite(BriteParams(n_nodes=300), seed=2)
+        np.testing.assert_array_equal(a.edges, b.edges)
+
+    def test_edge_count_incremental_growth(self):
+        p = BriteParams(n_nodes=300, links_per_node=2)
+        topo = generate_brite(p, seed=1)
+        # m links per arriving node, minus the seed core's shortfall.
+        assert topo.n_edges >= 2 * (300 - 3)
+        assert topo.n_edges <= 2 * 300
+
+    def test_preferential_attachment_creates_hubs(self):
+        topo = generate_brite(BriteParams(n_nodes=600, waxman_beta=None), seed=1)
+        deg = topo.degree()
+        assert deg.max() >= 5 * np.median(deg)
+
+    def test_waxman_shortens_links(self):
+        local = generate_brite(BriteParams(n_nodes=400, waxman_beta=0.05), seed=3)
+        pure_ba = generate_brite(BriteParams(n_nodes=400, waxman_beta=None), seed=3)
+        assert local.delays.mean() < pure_ba.delays.mean()
+
+    def test_uniform_placement_option(self):
+        topo = generate_brite(
+            BriteParams(n_nodes=200, skewed_placement=False), seed=1
+        )
+        assert topo.is_connected()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BriteParams(n_nodes=4)
+        with pytest.raises(ValueError):
+            BriteParams(links_per_node=0)
+        with pytest.raises(ValueError):
+            BriteParams(waxman_beta=0.0)
+
+
+class TestPlacement:
+    def test_uniform_in_bounds(self, rng):
+        coords = place_nodes(500, 100.0, rng)
+        assert coords.shape == (500, 2)
+        assert coords.min() >= 0 and coords.max() <= 100.0
+
+    def test_hotspots_cluster(self, rng):
+        coords = place_nodes(
+            2000, 1000.0, rng, n_hotspots=4, hotspot_sigma_fraction=0.01
+        )
+        # Nearest-hotspot distances are tiny compared to the plane.
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(coords)
+        d, _ = tree.query(coords, k=2)
+        assert np.median(d[:, 1]) < 20.0
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            place_nodes(0, 100.0, rng)
+        with pytest.raises(ValueError):
+            place_nodes(10, 0.0, rng)
+        with pytest.raises(ValueError):
+            place_nodes(10, 100.0, rng, n_hotspots=0)

@@ -1,0 +1,84 @@
+"""Tests for trace/sample persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import RouteSample
+from repro.util.ids import IdSpace
+from repro.workloads.io import (
+    export_sample_jsonl,
+    load_sample,
+    load_trace,
+    save_sample,
+    save_trace,
+)
+from repro.workloads.requests import generate_requests
+
+
+@pytest.fixture()
+def trace():
+    return generate_requests(100, 20, IdSpace(16), seed=1)
+
+
+@pytest.fixture()
+def sample():
+    rng = np.random.default_rng(0)
+    hops = rng.integers(1, 10, 100)
+    low = np.minimum(rng.integers(0, 8, 100), hops)
+    return RouteSample(
+        hops=hops,
+        latency_ms=rng.uniform(0, 500, 100),
+        low_layer_hops=low,
+        top_layer_hops=hops - low,
+        low_layer_latency_ms=rng.uniform(0, 100, 100),
+    )
+
+
+class TestTraceIO:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.sources, trace.sources)
+        np.testing.assert_array_equal(loaded.keys, trace.keys)
+
+    def test_rejects_wrong_file(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestSampleIO:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "sample.npz"
+        save_sample(sample, path)
+        loaded = load_sample(path)
+        np.testing.assert_array_equal(loaded.hops, sample.hops)
+        np.testing.assert_allclose(loaded.latency_ms, sample.latency_ms)
+        assert loaded.mean_hops == sample.mean_hops
+
+    def test_rejects_wrong_file(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, hops=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_sample(path)
+
+
+class TestJsonl:
+    def test_export_lines(self, sample, trace, tmp_path):
+        path = tmp_path / "out.jsonl"
+        n = export_sample_jsonl(sample, trace, path)
+        assert n == 100
+        lines = path.read_text().splitlines()
+        assert len(lines) == 100
+        row = json.loads(lines[0])
+        assert row["source"] == int(trace.sources[0])
+        assert row["hops"] == int(sample.hops[0])
+
+    def test_length_mismatch(self, sample, tmp_path):
+        short = generate_requests(5, 20, IdSpace(16), seed=2)
+        with pytest.raises(ValueError):
+            export_sample_jsonl(sample, short, tmp_path / "x.jsonl")

@@ -1,0 +1,166 @@
+"""Tests for latency models, including exactness cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.brite import BriteParams, generate_brite
+from repro.topology.latency import (
+    APSPLatencyModel,
+    CoordinateLatencyModel,
+    NoisyLatencyModel,
+    TransitStubLatencyModel,
+    latency_model_for,
+)
+from repro.topology.transit_stub import TransitStubParams, generate_transit_stub
+
+
+class TestAPSP:
+    @pytest.fixture(scope="class")
+    def model_and_topo(self):
+        topo = generate_brite(BriteParams(n_nodes=200), seed=1)
+        return APSPLatencyModel(topo), topo
+
+    def test_matches_dijkstra(self, model_and_topo, rng):
+        model, topo = model_and_topo
+        sources = rng.integers(0, topo.n_routers, 4)
+        ground = topo.shortest_delays(sources)
+        for i, s in enumerate(sources):
+            targets = rng.integers(0, topo.n_routers, 100)
+            got = model.pairs(np.full(100, s), targets)
+            np.testing.assert_allclose(got, np.round(ground[i][targets]))
+
+    def test_symmetric(self, model_and_topo, rng):
+        model, topo = model_and_topo
+        us = rng.integers(0, topo.n_routers, 200)
+        vs = rng.integers(0, topo.n_routers, 200)
+        np.testing.assert_array_equal(model.pairs(us, vs), model.pairs(vs, us))
+
+    def test_diagonal_zero(self, model_and_topo):
+        model, topo = model_and_topo
+        idx = np.arange(topo.n_routers)
+        assert model.pairs(idx, idx).max() == 0.0
+
+    def test_triangle_inequality(self, model_and_topo, rng):
+        model, topo = model_and_topo
+        a = rng.integers(0, topo.n_routers, 300)
+        b = rng.integers(0, topo.n_routers, 300)
+        c = rng.integers(0, topo.n_routers, 300)
+        assert np.all(model.pairs(a, c) <= model.pairs(a, b) + model.pairs(b, c) + 1)
+
+    def test_to_targets_row(self, model_and_topo):
+        model, _ = model_and_topo
+        targets = np.asarray([0, 5, 10])
+        np.testing.assert_array_equal(
+            model.to_targets(3, targets), model.pairs(np.full(3, 3), targets)
+        )
+
+    def test_matrix_readonly(self, model_and_topo):
+        model, _ = model_and_topo
+        with pytest.raises(ValueError):
+            model.matrix[0, 0] = 1
+
+    def test_chunking_equivalent(self):
+        topo = generate_brite(BriteParams(n_nodes=64), seed=2)
+        a = APSPLatencyModel(topo, chunk=7)
+        b = APSPLatencyModel(topo, chunk=1024)
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    def test_disconnected_raises(self):
+        from repro.topology.base import Topology
+
+        topo = Topology(
+            n_routers=3,
+            edges=np.asarray([[0, 1]]),
+            delays=np.asarray([5.0]),
+            kind=np.zeros(3, dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="disconnected"):
+            APSPLatencyModel(topo)
+
+
+class TestTransitStubExact:
+    """The hierarchical model must equal Dijkstra on every instance."""
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_equals_dijkstra_random_instances(self, seed):
+        params = TransitStubParams(
+            n_transit_domains=2,
+            transit_nodes_per_domain=2,
+            stubs_per_transit_node=3,
+            stub_domain_size=5,
+        )
+        topo = generate_transit_stub(params, seed=seed)
+        model = TransitStubLatencyModel(topo)
+        rng = np.random.default_rng(seed)
+        sources = rng.integers(0, topo.n_routers, 3)
+        ground = topo.shortest_delays(sources)
+        for i, s in enumerate(sources):
+            targets = np.arange(topo.n_routers)
+            got = model.pairs(np.full(topo.n_routers, s), targets)
+            np.testing.assert_allclose(got, ground[i])
+
+    def test_equals_dijkstra_larger(self, small_topology, small_latency, rng):
+        sources = rng.integers(0, small_topology.n_routers, 4)
+        ground = small_topology.shortest_delays(sources)
+        for i, s in enumerate(sources):
+            targets = rng.integers(0, small_topology.n_routers, 150)
+            got = small_latency.pairs(np.full(150, s), targets)
+            np.testing.assert_allclose(got, ground[i][targets])
+
+    def test_pair_scalar(self, small_latency):
+        assert small_latency.pair(3, 3) == 0.0
+        assert small_latency.pair(0, 1) == small_latency.pair(1, 0)
+
+    def test_requires_transit_stub_topology(self):
+        topo = generate_brite(BriteParams(n_nodes=50), seed=1)
+        with pytest.raises(ValueError):
+            TransitStubLatencyModel(topo)  # type: ignore[arg-type]
+
+
+class TestModelSelection:
+    def test_ts_gets_exact_model(self, small_topology):
+        assert isinstance(latency_model_for(small_topology), TransitStubLatencyModel)
+
+    def test_general_gets_apsp(self):
+        topo = generate_brite(BriteParams(n_nodes=50), seed=1)
+        assert isinstance(latency_model_for(topo), APSPLatencyModel)
+
+
+class TestCoordinateModel:
+    def test_euclidean(self):
+        coords = np.asarray([[0.0, 0.0], [3.0, 4.0]])
+        model = CoordinateLatencyModel(coords)
+        assert model.pair(0, 1) == pytest.approx(5.0)
+
+    def test_scale(self):
+        coords = np.asarray([[0.0, 0.0], [1.0, 0.0]])
+        assert CoordinateLatencyModel(coords, scale=10).pair(0, 1) == pytest.approx(10.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            CoordinateLatencyModel(np.zeros((3, 3)))
+
+
+class TestNoisyModel:
+    def test_zero_sigma_passthrough(self, small_latency, rng):
+        noisy = NoisyLatencyModel(small_latency, sigma=0.0)
+        us = rng.integers(0, 300, 50)
+        vs = rng.integers(0, 300, 50)
+        np.testing.assert_array_equal(noisy.pairs(us, vs), small_latency.pairs(us, vs))
+
+    def test_noise_is_multiplicative_and_unbiased_ish(self, small_latency, rng):
+        noisy = NoisyLatencyModel(small_latency, sigma=0.2, seed=1)
+        us = rng.integers(0, 300, 2000)
+        vs = rng.integers(0, 300, 2000)
+        clean = small_latency.pairs(us, vs)
+        mask = clean > 0
+        ratio = noisy.pairs(us, vs)[mask] / clean[mask]
+        assert 0.9 < np.median(ratio) < 1.1
+        assert ratio.std() > 0.05
+
+    def test_rejects_negative_sigma(self, small_latency):
+        with pytest.raises(ValueError):
+            NoisyLatencyModel(small_latency, sigma=-0.1)

@@ -1,0 +1,43 @@
+"""Tests for parallel sweep execution."""
+
+import pytest
+
+from repro.experiments.parallel import run_sweep_parallel
+from repro.experiments.sweep import SweepSpec, run_sweep
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SweepSpec(
+        models=("ts",), sizes=(200, 300), landmarks=(4,), depths=(2,),
+        seeds=(1,), n_requests=300,
+    )
+
+
+class TestParallelSweep:
+    def test_single_worker_matches_serial(self, spec):
+        serial = run_sweep(spec)
+        parallel = run_sweep_parallel(spec, workers=1)
+        assert parallel == serial
+
+    def test_two_workers_match_serial(self, spec):
+        """Determinism: results are independent of worker placement."""
+        serial = run_sweep(spec)
+        parallel = run_sweep_parallel(spec, workers=2)
+        assert parallel == serial
+
+    def test_invalid_cells_skipped(self):
+        bad = SweepSpec(models=("inet",), sizes=(200,), n_requests=100)
+        notes = []
+        rows = run_sweep_parallel(bad, workers=1, progress=notes.append)
+        assert rows == []
+        assert any("skip" in n for n in notes)
+
+    def test_workers_validation(self, spec):
+        with pytest.raises(ValueError):
+            run_sweep_parallel(spec, workers=0)
+
+    def test_progress_reported(self, spec):
+        notes = []
+        run_sweep_parallel(spec, workers=1, progress=notes.append)
+        assert len(notes) == 2

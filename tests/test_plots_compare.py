@@ -1,0 +1,145 @@
+"""Tests for terminal plots and statistical comparison helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.compare import bootstrap_ci, bootstrap_ratio_ci, compare_means
+from repro.analysis.plots import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10  # max bar fills width
+        assert lines[0].count("█") == 5
+
+    def test_title(self):
+        out = bar_chart(["a"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_zero_value_no_bar(self):
+        out = bar_chart(["a", "b"], [0.0, 1.0], width=8)
+        assert "█" not in out.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+class TestLinePlot:
+    def test_contains_markers_and_axes(self):
+        out = line_plot([0, 1, 2], {"s": [0.0, 0.5, 1.0]}, width=20, height=5)
+        assert "o" in out
+        assert "o=s" in out
+        assert "+" + "-" * 20 in out
+
+    def test_multi_series_markers(self):
+        out = line_plot(
+            [0, 1], {"a": [0, 1], "b": [1, 0]}, width=10, height=4
+        )
+        assert "o=a" in out and "x=b" in out
+        assert "x" in out
+
+    def test_constant_series_ok(self):
+        out = line_plot([0, 1, 2], {"flat": [3.0, 3.0, 3.0]})
+        assert "flat" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([0], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {})
+
+
+class TestSparkline:
+    def test_monotone(self):
+        out = sparkline([1, 2, 3, 4])
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_length_property(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, 500)
+        ci = bootstrap_ci(data, seed=1)
+        assert ci.low < 10.0 < ci.high
+        assert ci.estimate == pytest.approx(data.mean())
+        assert 10.0 in ci
+
+    def test_narrows_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, 50), seed=2)
+        large = bootstrap_ci(rng.normal(0, 1, 5000), seed=2)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic(self):
+        data = np.arange(100, dtype=float)
+        a = bootstrap_ci(data, seed=3)
+        b = bootstrap_ci(data, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.asarray([1.0, 2.0]), confidence=0.4)
+
+
+class TestRatioCi:
+    def test_paired_ratio(self):
+        rng = np.random.default_rng(2)
+        denom = rng.uniform(100, 200, 1000)
+        numer = 0.5 * denom + rng.normal(0, 5, 1000)
+        ci = bootstrap_ratio_ci(numer, denom, seed=4)
+        assert 0.48 < ci.estimate < 0.52
+        assert ci.low < ci.estimate < ci.high
+        assert ci.high - ci.low < 0.02  # paired: tight around the estimate
+
+    def test_pairing_tightens_interval(self):
+        """Paired resampling must beat treating the ratio's noise as
+        independent — the correlated part cancels."""
+        rng = np.random.default_rng(3)
+        denom = rng.uniform(100, 1000, 400)  # huge shared variance
+        numer = 0.5 * denom
+        ci = bootstrap_ratio_ci(numer, denom, seed=5)
+        assert ci.high - ci.low < 0.01  # perfectly paired: ~zero width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci(np.asarray([1.0, 2.0]), np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci(np.asarray([1.0, 2.0]), np.asarray([1.0, -1.0]))
+
+
+class TestCompareMeans:
+    def test_detects_clear_difference(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(10, 1, 300)
+        b = rng.normal(8, 1, 300)
+        out = compare_means(a, b, seed=6)
+        assert out["significant"] is True
+        assert out["mean_diff"] == pytest.approx(2.0, abs=0.3)
+        assert out["cohens_d"] > 0.5
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(10, 1, 300)
+        b = a + rng.normal(0, 1, 300)
+        out = compare_means(a, b, seed=7)
+        assert out["significant"] is False

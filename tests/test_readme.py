@@ -1,0 +1,35 @@
+"""Keep the README honest: its code fences must execute."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_fences(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_exists_and_mentions_paper():
+    text = README.read_text(encoding="utf-8")
+    assert "HIERAS" in text
+    assert "ICPP 2003" in text
+
+
+def test_readme_quickstart_executes():
+    text = README.read_text(encoding="utf-8")
+    fences = python_fences(text)
+    assert fences, "README must contain a python quickstart fence"
+    namespace: dict = {}
+    exec(compile(fences[0], "<README quickstart>", "exec"), namespace)  # noqa: S102
+    assert "bundle" in namespace
+
+
+def test_readme_references_real_files():
+    text = README.read_text(encoding="utf-8")
+    root = README.parent
+    for rel in ("EXPERIMENTS.md", "DESIGN.md"):
+        assert rel in text
+        assert (root / rel).exists()
+    for example in re.findall(r"examples/(\w+)\.py", text):
+        assert (root / "examples" / f"{example}.py").exists(), example

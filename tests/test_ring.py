@@ -1,0 +1,116 @@
+"""Tests for ring names/ids, ring tables, and the directory."""
+
+import numpy as np
+import pytest
+
+from repro.core.ring import (
+    RingTable,
+    RingTableDirectory,
+    ring_id,
+    ring_name,
+)
+from repro.util.ids import IdSpace
+from repro.util.intervals import ring_distance
+
+
+class TestNamesAndIds:
+    def test_ring_name_identity(self):
+        assert ring_name("012") == "012"
+
+    def test_ring_name_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ring_name("")
+
+    def test_ring_id_deterministic_and_in_space(self):
+        space = IdSpace(16)
+        rid = ring_id(space, "012")
+        assert rid == ring_id(space, "012")
+        assert 0 <= rid < space.size
+
+    def test_ring_id_differs_from_key_hash(self):
+        space = IdSpace(32)
+        assert ring_id(space, "012") != space.hash_key("012")
+
+
+class TestRingTable:
+    def test_extremes(self):
+        space = IdSpace(16)
+        ids = np.asarray([5, 17, 200, 900], dtype=np.uint64)
+        peers = np.asarray([3, 1, 0, 2])
+        table = RingTable.from_members(space, "01", ids, peers)
+        assert table.largest == (900, 2)
+        assert table.second_largest == (200, 0)
+        assert table.smallest == (5, 3)
+        assert table.second_smallest == (17, 1)
+        assert table.ringname == "01"
+        assert table.ringid == ring_id(space, "01")
+
+    def test_small_rings_repeat_entries(self):
+        space = IdSpace(16)
+        table = RingTable.from_members(
+            space, "0", np.asarray([7], dtype=np.uint64), np.asarray([4])
+        )
+        assert table.largest == table.smallest == (7, 4)
+        assert len(table.entries()) == 4
+
+    def test_bootstrap_peer(self):
+        space = IdSpace(16)
+        table = RingTable.from_members(
+            space, "0", np.asarray([7, 9], dtype=np.uint64), np.asarray([4, 5])
+        )
+        assert table.bootstrap_peer() == 4
+
+    def test_would_update(self):
+        space = IdSpace(16)
+        ids = np.asarray([10, 20, 30, 40], dtype=np.uint64)
+        table = RingTable.from_members(space, "0", ids, np.arange(4))
+        assert table.would_update(50)  # new largest
+        assert table.would_update(35)  # new second largest
+        assert table.would_update(5)  # new smallest
+        assert table.would_update(15)  # new second smallest
+        assert not table.would_update(25)  # middle of the pack
+
+
+class TestDirectory:
+    @pytest.fixture()
+    def directory(self):
+        return RingTableDirectory(IdSpace(16), replicas=2)
+
+    def test_publish_and_fetch(self, directory):
+        table = directory.publish(
+            "01", np.asarray([3, 9], dtype=np.uint64), np.asarray([0, 1])
+        )
+        assert directory.table_of("01") is table
+        assert directory.names() == ["01"]
+
+    def test_drop(self, directory):
+        directory.publish("01", np.asarray([3], dtype=np.uint64), np.asarray([0]))
+        directory.drop("01")
+        with pytest.raises(KeyError):
+            directory.table_of("01")
+
+    def test_host_is_numerically_closest(self, directory):
+        space = IdSpace(16)
+        rng = np.random.default_rng(2)
+        ids = np.sort(space.sample_unique_ids(40, rng))
+        peers = np.arange(40)
+        host = directory.host_of("012", ids, peers)
+        rid = ring_id(space, "012")
+        dists = [ring_distance(rid, int(i), space.size) for i in ids]
+        assert dists[host] == min(dists)  # peer index == sorted position here
+
+    def test_replica_hosts_are_successors(self, directory):
+        space = IdSpace(16)
+        ids = np.sort(space.sample_unique_ids(10, np.random.default_rng(1)))
+        peers = np.arange(10)
+        hosts = directory.replica_hosts("012", ids, peers)
+        assert len(hosts) == 3
+        primary = hosts[0]
+        assert hosts[1] == (primary + 1) % 10
+        assert hosts[2] == (primary + 2) % 10
+
+    def test_replicas_capped_by_ring_size(self):
+        directory = RingTableDirectory(IdSpace(16), replicas=5)
+        ids = np.asarray([4, 90], dtype=np.uint64)
+        hosts = directory.replica_hosts("0", ids, np.arange(2))
+        assert len(hosts) == 2

@@ -1,0 +1,78 @@
+"""Tests for RouteResult and the DHTNetwork base helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dht.base import DHTNetwork, RouteResult, ZeroLatency
+from repro.topology.latency import CoordinateLatencyModel
+
+
+def make_result(path, per_layer=None):
+    return RouteResult(
+        source=path[0],
+        key=1,
+        owner=path[-1],
+        path=path,
+        latency_ms=0.0,
+        hops_per_layer=per_layer or [],
+    )
+
+
+class TestRouteResult:
+    def test_hops(self):
+        assert make_result([1, 2, 3]).hops == 2
+        assert make_result([7]).hops == 0
+
+    def test_flat_layer_accessors(self):
+        r = make_result([1, 2, 3], per_layer=[2])
+        assert r.low_layer_hops == 0
+        assert r.top_layer_hops == 2
+
+    def test_hierarchical_layer_accessors(self):
+        r = make_result([1, 2, 3, 4, 5], per_layer=[2, 1, 1])
+        assert r.low_layer_hops == 3
+        assert r.top_layer_hops == 1
+
+    def test_no_layers_defaults_to_total(self):
+        r = make_result([1, 2, 3])
+        assert r.top_layer_hops == 2
+        assert r.low_layer_hops == 0
+
+
+class TestZeroLatency:
+    def test_pairs_and_pair(self):
+        z = ZeroLatency()
+        assert z.pair(1, 2) == 0.0
+        np.testing.assert_array_equal(
+            z.pairs(np.asarray([1, 2]), np.asarray([3, 4])), np.zeros(2)
+        )
+
+    def test_to_targets_default(self):
+        z = ZeroLatency()
+        np.testing.assert_array_equal(z.to_targets(0, np.asarray([1, 2, 3])), np.zeros(3))
+
+
+class _StubNetwork(DHTNetwork):
+    @property
+    def n_peers(self):
+        return 3
+
+    def owner_of(self, key):
+        return 0
+
+    def route(self, source, key):
+        raise NotImplementedError
+
+
+class TestRouteLatencyHelper:
+    def test_sums_along_path(self):
+        coords = np.asarray([[0.0, 0.0], [3.0, 4.0], [3.0, 0.0]])
+        model = CoordinateLatencyModel(coords)
+        net = _StubNetwork()
+        assert net.route_latency(model, [0, 1, 2]) == pytest.approx(5.0 + 4.0)
+
+    def test_short_paths_cost_nothing(self):
+        net = _StubNetwork()
+        model = ZeroLatency()
+        assert net.route_latency(model, [0]) == 0.0
+        assert net.route_latency(model, []) == 0.0

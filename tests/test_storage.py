@@ -1,0 +1,222 @@
+"""Tests for the replicated KV store over ring DHTs."""
+
+import numpy as np
+import pytest
+
+from repro.dht.chord import ChordNetwork
+from repro.dht.storage import DHTStore
+from repro.util.ids import IdSpace
+
+
+@pytest.fixture()
+def chord_store():
+    space = IdSpace(16)
+    ids = space.sample_unique_ids(60, np.random.default_rng(0))
+    net = ChordNetwork(space, ids)
+    return net, DHTStore(net, replicas=2)
+
+
+class TestPutGet:
+    def test_roundtrip(self, chord_store):
+        net, store = chord_store
+        store.put("song.mp3", {"holders": [3, 9]})
+        value, route = store.get(0, "song.mp3")
+        assert value == {"holders": [3, 9]}
+        assert route.owner == net.owner_of(net.space.hash_key("song.mp3"))
+
+    def test_missing_key(self, chord_store):
+        _, store = chord_store
+        value, _ = store.get(0, "never-stored")
+        assert value is None
+
+    def test_replication_count(self, chord_store):
+        _, store = chord_store
+        store.put("a", 1)
+        assert store.holder_count("a") == 3  # owner + 2 replicas
+
+    def test_value_at_owner_and_successors(self, chord_store):
+        net, store = chord_store
+        key = store.put("b", 2)
+        owner = net.owner_of(key)
+        assert key in store.stored_keys(owner)
+        for succ in net.successor_list(owner, 2):
+            assert key in store.stored_keys(succ)
+
+    def test_stats(self, chord_store):
+        _, store = chord_store
+        store.put("x", 1)
+        store.get(5, "x")
+        store.get(6, "x")
+        assert store.stats.puts == 1
+        assert store.stats.gets == 2
+        assert store.stats.replicas_written == 3
+        assert len(store) == 1
+
+    def test_zero_replicas(self):
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(20, np.random.default_rng(1))
+        store = DHTStore(ChordNetwork(space, ids), replicas=0)
+        store.put("solo", 1)
+        assert store.holder_count("solo") == 1
+
+    def test_negative_replicas_rejected(self, chord_store):
+        net, _ = chord_store
+        with pytest.raises(ValueError):
+            DHTStore(net, replicas=-1)
+
+
+class TestChurnRepair:
+    def test_owner_crash_value_survives_via_replica(self, chord_store):
+        net, store = chord_store
+        key = store.put("file", "data")
+        owner = net.owner_of(key)
+        store.drop_peer_state(owner)
+        net.remove_peer(owner)
+        value, _ = store.get(0, "file")
+        assert value == "data"
+
+    def test_repair_promotes_replica_without_movement(self, chord_store):
+        """With replicas, a crashed owner's successor already holds the
+        key — repair re-establishes the replica count with zero owner
+        rewrites (Chord/CFS's replica-promotion property)."""
+        net, store = chord_store
+        key = store.put("file", "data")
+        owner = net.owner_of(key)
+        store.drop_peer_state(owner)
+        net.remove_peer(owner)
+        moved = store.repair()
+        assert moved == 0
+        new_owner = net.owner_of(key)
+        assert key in store.stored_keys(new_owner)
+        assert store.holder_count("file") == 3
+
+    def test_repair_moves_keys_without_replicas(self):
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(40, np.random.default_rng(2))
+        net = ChordNetwork(space, ids)
+        store = DHTStore(net, replicas=0)
+        key = store.put("file", "data")
+        owner = net.owner_of(key)
+        store.drop_peer_state(owner)
+        net.remove_peer(owner)
+        moved = store.repair()
+        assert moved == 1
+        assert store.stats.lost_after_repair == 1  # no replica survived
+        assert key in store.stored_keys(net.owner_of(key))
+
+    def test_join_triggers_ownership_transfer(self, chord_store):
+        net, store = chord_store
+        key = store.put("file", "data")
+        if key in net.ring:  # astronomically unlikely at 16 bits / 60 peers
+            pytest.skip("key collided with an existing node id")
+        # A peer joining exactly at the key becomes its new owner.
+        new_peer = net.add_peer(int(key))
+        store.repair()
+        assert key in store.stored_keys(new_peer)
+        value, route = store.get(0, "file")
+        assert value == "data" and route.owner == new_peer
+
+    def test_total_loss_detected(self, chord_store):
+        net, store = chord_store
+        key = store.put("file", "data")
+        owner = net.owner_of(key)
+        holders = [owner] + net.successor_list(owner, 2)
+        for peer in holders:
+            store.drop_peer_state(peer)
+        store.repair()
+        assert store.stats.lost_after_repair == 1
+        # The audit catalogue restored it.
+        assert store.holder_count("file") == 3
+
+    def test_repair_prunes_stale_copies(self, chord_store):
+        net, store = chord_store
+        key = store.put("file", "data")
+        owner = net.owner_of(key)
+        stale = (owner + 1) % net.n_peers
+        store._stored.setdefault(stale, {})[key] = "data"  # simulate stale copy
+        store.repair()
+        replica_set = [net.owner_of(key)] + net.successor_list(net.owner_of(key), 2)
+        for peer in range(net.n_peers):
+            if peer not in replica_set:
+                assert key not in store.stored_keys(peer)
+
+
+class TestOverHieras:
+    def test_store_over_hieras_network(self, small_networks):
+        _, hieras = small_networks
+        store = DHTStore(hieras, replicas=2)
+        store.put("movie.avi", "meta")
+        value, route = store.get(3, "movie.avi")
+        assert value == "meta"
+        assert route.owner == hieras.owner_of(hieras.space.hash_key("movie.avi"))
+        assert store.holder_count("movie.avi") == 3
+
+
+class TestDurabilityModes:
+    def test_restore_lost_default_resurrects(self):
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(30, np.random.default_rng(5))
+        net = ChordNetwork(space, ids)
+        store = DHTStore(net, replicas=0, restore_lost=True)
+        key = store.put("f", "v")
+        owner = net.owner_of(key)
+        store.drop_peer_state(owner)
+        net.remove_peer(owner)
+        store.repair()
+        value, _ = store.get(0, "f")
+        assert value == "v"
+
+    def test_realistic_mode_loses_data(self):
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(30, np.random.default_rng(5))
+        net = ChordNetwork(space, ids)
+        store = DHTStore(net, replicas=0, restore_lost=False)
+        key = store.put("f", "v")
+        owner = net.owner_of(key)
+        store.drop_peer_state(owner)
+        net.remove_peer(owner)
+        store.repair()
+        value, _ = store.get(0, "f")
+        assert value is None
+        assert store.stats.lost_after_repair == 1
+        # Re-publishing resurrects the key.
+        store.put("f", "v2")
+        value, _ = store.get(0, "f")
+        assert value == "v2"
+
+
+class TestRevive:
+    def test_revive_restores_index_and_id(self):
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(20, np.random.default_rng(6))
+        net = ChordNetwork(space, ids)
+        old_id = net.id_of(7)
+        net.remove_peer(7)
+        net.revive_peer(7)
+        assert net.is_alive(7)
+        assert net.id_of(7) == old_id
+        assert net.n_peers == 20
+
+    def test_revive_requires_dead_peer(self):
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(10, np.random.default_rng(7))
+        net = ChordNetwork(space, ids)
+        with pytest.raises(ValueError):
+            net.revive_peer(3)
+
+    def test_hieras_revive_restores_ring(self):
+        from repro.core.binning import BinningScheme
+        from repro.core.hieras import HierasNetwork
+
+        rng = np.random.default_rng(8)
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(40, rng)
+        orders = BinningScheme.default_for_depth(2).orders(
+            rng.uniform(0, 300, size=(40, 4))
+        )
+        net = HierasNetwork(space, ids, landmark_orders=orders, depth=2)
+        name = net.ring_name_of(11, 2)
+        net.remove_peer(11)
+        net.revive_peer(11)
+        assert net.ring_name_of(11, 2) == name
+        assert 11 in set(int(p) for p in net.rings_at_layer(2)[name].peers)

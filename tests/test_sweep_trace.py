@@ -1,0 +1,145 @@
+"""Tests for the sweep tool and the DES message tracer."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.dht.base import ZeroLatency
+from repro.dht.chord_protocol import GLOBAL_RING, ChordProtocolNode
+from repro.experiments.sweep import SweepSpec, run_sweep, write_csv
+from repro.sim.engine import Simulator
+from repro.sim.network import SimNetwork
+from repro.sim.trace import MessageTracer
+from repro.util.ids import IdSpace
+
+
+class TestSweepSpec:
+    def test_cell_count(self):
+        spec = SweepSpec(models=("ts", "brite"), sizes=(100, 200), seeds=(1, 2, 3))
+        assert spec.n_cells == 12
+
+    def test_configs_enumeration(self):
+        spec = SweepSpec(sizes=(100, 200), landmarks=(2, 4))
+        configs = list(spec.configs())
+        assert len(configs) == 4
+        assert {c.n_peers for c in configs} == {100, 200}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(models=())
+        with pytest.raises(ValueError):
+            SweepSpec(n_requests=0)
+
+
+class TestRunSweep:
+    def test_rows_and_csv(self, tmp_path):
+        spec = SweepSpec(sizes=(200,), landmarks=(4,), seeds=(1,), n_requests=500)
+        notes = []
+        rows = run_sweep(spec, progress=notes.append)
+        assert len(rows) == 1
+        assert rows[0]["model"] == "ts"
+        assert 0 < rows[0]["latency_ratio_pct"] < 120
+        assert notes
+        path = tmp_path / "out.csv"
+        assert write_csv(rows, path) == 1
+        with path.open() as fh:
+            parsed = list(csv.DictReader(fh))
+        assert parsed[0]["n_peers"] == "200"
+
+    def test_invalid_cells_skipped(self):
+        # Inet below its floor: skipped, not fatal.
+        spec = SweepSpec(models=("inet",), sizes=(200,), n_requests=100)
+        notes = []
+        rows = run_sweep(spec, progress=notes.append)
+        assert rows == []
+        assert any("skip" in n for n in notes)
+
+    def test_write_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "x.csv")
+
+
+def build_pair():
+    space = IdSpace(12)
+    sim = Simulator()
+    net = SimNetwork(sim, ZeroLatency())
+    a = ChordProtocolNode(0, 100, space, sim, net)
+    b = ChordProtocolNode(1, 2000, space, sim, net)
+    return sim, net, a, b
+
+
+class TestMessageTracer:
+    def test_records_sends(self):
+        sim, net, a, b = build_pair()
+        tracer = MessageTracer(net)
+        tracer.start()
+        a.send(1, "hello", x=1)
+        sim.run()
+        assert tracer.count() == 1
+        assert tracer.events[0].kind == "hello"
+        assert tracer.events[0].src == 0 and tracer.events[0].dst == 1
+
+    def test_stop_restores(self):
+        sim, net, a, b = build_pair()
+        tracer = MessageTracer(net)
+        tracer.start()
+        tracer.stop()
+        a.send(1, "quiet")
+        sim.run()
+        assert tracer.count() == 0
+        assert net.messages_sent == 1  # network still delivered
+
+    def test_context_manager(self):
+        sim, net, a, b = build_pair()
+        with MessageTracer(net) as tracer:
+            a.send(1, "ping1")
+            a.send(1, "ping2")
+            sim.run()
+            assert tracer.count() == 2
+        a.send(1, "after")
+        sim.run()
+        assert tracer.count() == 2
+
+    def test_aggregations(self):
+        sim, net, a, b = build_pair()
+        with MessageTracer(net) as tracer:
+            a.send(1, "x")
+            a.send(1, "x")
+            b.send(0, "y")
+            sim.run()
+            assert tracer.by_kind() == {"x": 2, "y": 1}
+            assert tracer.by_peer() == {0: 2, 1: 1}
+            assert tracer.count(kind="x") == 2
+
+    def test_between_and_reset(self):
+        sim, net, a, b = build_pair()
+        tracer = MessageTracer(net)
+        tracer.start()
+        sim.schedule(10.0, a.send, 1, "late")
+        a.send(1, "early")
+        sim.run()
+        assert len(tracer.between(0.0, 5.0)) == 1
+        assert len(tracer.between(5.0, 20.0)) == 1
+        tracer.reset()
+        assert tracer.count() == 0
+
+    def test_join_cost_measurement(self):
+        """A realistic use: count messages one protocol join costs."""
+        space = IdSpace(12)
+        rng = np.random.default_rng(0)
+        ids = space.sample_unique_ids(9, rng)
+        sim = Simulator()
+        net = SimNetwork(sim, ZeroLatency())
+        nodes = [ChordProtocolNode(p, int(ids[p]), space, sim, net) for p in range(9)]
+        nodes[0].create_ring(GLOBAL_RING)
+        for p in range(1, 8):
+            sim.schedule_at(p * 200.0, nodes[p].join_ring, GLOBAL_RING, 0)
+        sim.run(until=20_000, max_events=2_000_000)
+        with MessageTracer(net) as tracer:
+            nodes[8].join_ring(GLOBAL_RING, 0)
+            sim.run(until=sim.now + 3_000, max_events=2_000_000)
+            join_msgs = tracer.count()
+        assert join_msgs > 0
+        # One join costs far less than the whole network's history.
+        assert join_msgs < net.messages_sent / 4
