@@ -1,0 +1,14 @@
+"""Benchmark: fault-injection resilience sweep (quantifying §3.3).
+
+Delegates to the registered ``resilience`` experiment, which sweeps
+failed-node fraction x message-loss rate over both static stacks with
+failure-aware ``route_lossy`` lookups, then drives the discrete-event
+protocol stack through the same fault plan shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_resilience_sweep(benchmark):
+    """Lookup success and timeout-penalised latency under crashes + loss."""
+    run_experiment_benchmark(benchmark, "resilience")

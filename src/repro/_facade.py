@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-import numpy as np
-
 from repro.util.rng import RngFactory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

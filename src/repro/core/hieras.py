@@ -309,6 +309,70 @@ class HierasNetwork(DHTNetwork):
             hops_per_layer=hops_per_layer,
         )
 
+    def route_lossy(self, source: int, key: int, *, injector) -> RouteResult:
+        """Failure-aware bottom-up routing under an active fault injector.
+
+        Same layer-by-layer procedure as :meth:`route`, but every ring
+        snapshot is treated as stale knowledge: crashed peers still sit
+        in finger tables, contacts can time out, and each loop falls
+        back through next-best fingers and the per-layer §3.3 successor
+        list (``injector.policy.successor_fallback`` entries), charging
+        retry penalties to the result.  Lower loops stop at the key's
+        closest *live* ring predecessor; the global loop ends at the
+        first *live* successor of the key — the peer that actually owns
+        it after the failures.  On failure ``owner`` is ``-1`` and the
+        path covers the hops taken before the lookup died.
+        """
+        from repro.faults.injector import LossyContext
+        from repro.faults.routing import lossy_ring_route
+
+        require(bool(self._alive[source]), f"source peer {source} is not alive")
+        require(not injector.state.is_dead(source), f"source peer {source} has crashed")
+        key = self.space.wrap(int(key))
+        ctx = LossyContext()
+        contact = lambda u, v: injector.contact(u, v, ctx)  # noqa: E731
+        fallback_r = injector.policy.successor_fallback
+        cur = source
+        path = [source]
+        hops_per_layer: list[int] = []
+        ok = True
+        for layer in range(self.depth, 0, -1):
+            ring = self.ring_of(cur, layer)
+            pos = (
+                int(self._pos_global[cur])
+                if layer == 1
+                else int(self._pos_in_ring[layer - 2, cur])
+            )
+            max_hops = 2 * max(len(ring).bit_length(), 4) + fallback_r
+            sub, sub_ok = lossy_ring_route(
+                ring,
+                pos,
+                key,
+                to_owner=(layer == 1),
+                contact=contact,
+                is_dead=injector.state.is_dead,
+                fallback_r=fallback_r,
+                max_hops=max_hops,
+            )
+            for p in sub[1:]:
+                path.append(int(ring.peers[p]))
+            hops_per_layer.append(len(sub) - 1)
+            cur = path[-1]
+            if not sub_ok:
+                ok = False
+                break
+        return RouteResult(
+            source=source,
+            key=key,
+            owner=path[-1] if ok else -1,
+            path=path,
+            latency_ms=self.route_latency(self.latency, path) * injector.state.delay_factor,
+            hops_per_layer=hops_per_layer,
+            success=ok,
+            timeouts=ctx.timeouts,
+            retry_latency_ms=ctx.retry_latency_ms,
+        )
+
     # ------------------------------------------------------------------
     # inspection (Table 2, §3.4 cost model)
     # ------------------------------------------------------------------

@@ -370,14 +370,39 @@ class HierasProtocolNode(ChordProtocolNode):
     # ------------------------------------------------------------------
     # hierarchical lookup (§3.2)
     # ------------------------------------------------------------------
-    def hieras_lookup(self, key: int, callback: Callable[[HierasLookupOutcome], None]) -> None:
-        """Bottom-up lookup: lowest ring first, global ring last."""
+    def hieras_lookup(
+        self,
+        key: int,
+        callback: Callable[[HierasLookupOutcome], None],
+        *,
+        retries: int = 0,
+        on_fail: Callable[[int], None] | None = None,
+    ) -> None:
+        """Bottom-up lookup: lowest ring first, global ring last.
+
+        With ``retries == 0`` (the default) the lookup is one-shot: a
+        request that dies to a crashed relay or a lost message simply
+        never completes, which is what the churn experiment measures.
+        ``retries > 0`` makes the lookup failure-aware: the originator
+        arms a watchdog (a multiple of the request timeout, so a full
+        multi-hop route fits comfortably inside it) and re-issues the
+        lookup from scratch up to ``retries`` times — by then stabilize
+        has usually routed around the failure (§3.3).  ``on_fail`` fires
+        with the key if every attempt times out.
+        """
         key = self.space.wrap(int(key))
-        self.lookup_count += 1
         layers = len(self.lower_rings) + 1
+        attempts_left = retries
 
         def _finish(msg: Message | None) -> None:
+            nonlocal attempts_left
             if msg is None:
+                if attempts_left > 0 and self.alive:
+                    attempts_left -= 1
+                    self.lookup_retry_count += 1
+                    _start()
+                elif on_fail is not None:
+                    on_fail(key)
                 return
             callback(
                 HierasLookupOutcome(
@@ -389,8 +414,17 @@ class HierasProtocolNode(ChordProtocolNode):
                 )
             )
 
-        token = self._register(_finish)
-        self._route_hieras(key, self.peer, layers, 0, [0] * layers, token)
+        def _start() -> None:
+            self.lookup_count += 1
+            if retries > 0:
+                token = self._register(
+                    _finish, timeout=True, timeout_ms=3.0 * self.config.request_timeout_ms
+                )
+            else:
+                token = self._register(_finish)
+            self._route_hieras(key, self.peer, layers, 0, [0] * layers, token)
+
+        _start()
 
     def _layer_ring_name(self, layer: int) -> str | None:
         """Ring name for ``layer`` (1 = global; depth = lowest)."""

@@ -183,3 +183,26 @@ class RingTableDirectory:
         n = len(global_ids)
         count = min(self.replicas, n - 1)
         return [primary] + [int(global_peers[(pos + k) % n]) for k in range(1, count + 1)]
+
+    def live_host_of(
+        self,
+        name: str,
+        global_ids: np.ndarray,
+        global_peers: np.ndarray,
+        is_dead,
+    ) -> int:
+        """First live replica host of ring ``name``'s table.
+
+        The replication in §3.1 exists precisely so a ring table
+        survives its primary host crashing; this walks the replica chain
+        (primary, then its successors) and returns the first host
+        ``is_dead`` clears.  Raises ``LookupError`` when the primary and
+        every replica are dead — the table is genuinely lost until the
+        overlay republishes it.
+        """
+        for host in self.replica_hosts(name, global_ids, global_peers):
+            if not is_dead(host):
+                return host
+        raise LookupError(
+            f"ring table {name!r}: primary and all {self.replicas} replicas are dead"
+        )

@@ -53,6 +53,17 @@ class RouteResult:
         For hierarchical routing, hops taken in each layer, ordered from
         the **lowest** layer (searched first) up to layer 1 (the global
         ring).  Flat DHTs report a single-element list.
+    success:
+        Whether the lookup reached the key's (live) owner.  Plain
+        ``route`` always succeeds; the failure-aware ``route_lossy``
+        mode reports lookups that died mid-route.
+    timeouts:
+        Number of timed-out contact attempts paid along the way (0 on
+        the fault-free path).
+    retry_latency_ms:
+        Total timeout/backoff penalty, *excluded* from ``latency_ms``
+        so link-delay analyses are unaffected; see
+        :attr:`total_latency_ms`.
     """
 
     source: int
@@ -61,11 +72,19 @@ class RouteResult:
     path: list[int]
     latency_ms: float
     hops_per_layer: list[int] = field(default_factory=list)
+    success: bool = True
+    timeouts: int = 0
+    retry_latency_ms: float = 0.0
 
     @property
     def hops(self) -> int:
         """Number of message forwards (``len(path) - 1``)."""
         return len(self.path) - 1
+
+    @property
+    def total_latency_ms(self) -> float:
+        """Link delays plus timeout penalties — the user-visible wait."""
+        return self.latency_ms + self.retry_latency_ms
 
     @property
     def low_layer_hops(self) -> int:

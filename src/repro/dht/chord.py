@@ -151,6 +151,51 @@ class ChordNetwork(DHTNetwork):
             hops_per_layer=[len(path) - 1],
         )
 
+    def route_lossy(self, source: int, key: int, *, injector) -> RouteResult:
+        """Failure-aware routing under an active fault injector.
+
+        Unlike :meth:`route`, the ring snapshot is treated as *stale*
+        knowledge: peers the injector has crashed still appear in finger
+        tables, each contact may time out (dead target, partition, or
+        message loss), and the lookup falls back through next-best
+        fingers and the §3.3 successor list, paying retry penalties from
+        the injector's :class:`~repro.faults.retry.RetryPolicy`.  The
+        returned :class:`RouteResult` carries the per-lookup outcome
+        (``success``, ``timeouts``, ``retry_latency_ms``); on failure
+        ``owner`` is ``-1`` and ``path`` covers the hops taken before
+        the lookup died.
+        """
+        from repro.faults.injector import LossyContext
+        from repro.faults.routing import lossy_ring_route
+
+        require(bool(self._alive[source]), f"source peer {source} is not alive")
+        require(not injector.state.is_dead(source), f"source peer {source} has crashed")
+        key = self.space.wrap(int(key))
+        ctx = LossyContext()
+        max_hops = 2 * max(len(self.ring).bit_length(), 4) + injector.policy.successor_fallback
+        positions, ok = lossy_ring_route(
+            self.ring,
+            int(self._pos_of_peer[source]),
+            key,
+            to_owner=True,
+            contact=lambda u, v: injector.contact(u, v, ctx),
+            is_dead=injector.state.is_dead,
+            fallback_r=injector.policy.successor_fallback,
+            max_hops=max_hops,
+        )
+        path = [int(self.ring.peers[p]) for p in positions]
+        return RouteResult(
+            source=source,
+            key=key,
+            owner=path[-1] if ok else -1,
+            path=path,
+            latency_ms=self.route_latency(self.latency, path) * injector.state.delay_factor,
+            hops_per_layer=[len(path) - 1],
+            success=ok,
+            timeouts=ctx.timeouts,
+            retry_latency_ms=ctx.retry_latency_ms,
+        )
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

@@ -103,6 +103,7 @@ class ChordProtocolNode(SimNode):
         self._next_token = 0
         self._pending: dict[int, Callable[[Message | None], None]] = {}
         self.lookup_count = 0
+        self.lookup_retry_count = 0
 
     # ------------------------------------------------------------------
     # ring lifecycle
@@ -353,7 +354,30 @@ class ChordProtocolNode(SimNode):
         if succ is not None and succ[0] != self.peer:
             token = self._register(lambda msg: self._on_stabilize_reply(ring, msg), timeout=True)
             self.send(succ[0], "get_state", token=token, ring=ring)
+        # Chord's check_predecessor: probe the predecessor so a silent
+        # crash clears the pointer.  Without this, a successor keeps
+        # reporting its dead predecessor and stabilizing nodes re-adopt
+        # the corpse as their successor forever.
+        pred = state.predecessor
+        if pred is not None and pred[0] != self.peer:
+            token = self._register(
+                lambda msg, probed=pred: self._on_predecessor_probe(ring, probed, msg),
+                timeout=True,
+            )
+            self.send(pred[0], "ping", token=token, ring=ring)
         self.after(self.config.stabilize_interval_ms, self._stabilize_tick, ring)
+
+    def _on_predecessor_probe(
+        self, ring: str, probed: tuple[int, int], msg: Message | None
+    ) -> None:
+        if msg is not None:
+            return
+        state = self.rings.get(ring)
+        if state is not None and state.predecessor == probed:
+            # No answer: presume dead and let the next live notify
+            # claim the slot.  A false positive (lost pong) heals the
+            # same way one stabilize round later.
+            state.predecessor = None
 
     def _on_stabilize_reply(self, ring: str, msg: Message | None) -> None:
         state = self.rings.get(ring)
@@ -388,11 +412,19 @@ class ChordProtocolNode(SimNode):
         start = self.space.finger_start(self.node_id, i)
 
         def _set(msg: Message | None) -> None:
-            if msg is not None and ring in self.rings:
-                self.rings[ring].fingers[i - 1] = (
-                    msg.payload["owner_peer"],
-                    msg.payload["owner_id"],
-                )
+            if ring not in self.rings:
+                return
+            if msg is None:
+                # The refresh died on a failed node — evict the stale
+                # entry so routing falls back to closer live fingers /
+                # the successor instead of forwarding into the failure
+                # forever; a later refresh repopulates the slot.
+                self.rings[ring].fingers[i - 1] = None
+                return
+            self.rings[ring].fingers[i - 1] = (
+                msg.payload["owner_peer"],
+                msg.payload["owner_id"],
+            )
 
         token = self._register(_set, timeout=True)
         self._route_find(ring, start, origin=self.peer, hops=0, token=token)
@@ -402,13 +434,21 @@ class ChordProtocolNode(SimNode):
     # request/response plumbing
     # ------------------------------------------------------------------
     def _register(
-        self, callback: Callable[[Message | None], None], *, timeout: bool = False
+        self,
+        callback: Callable[[Message | None], None],
+        *,
+        timeout: bool = False,
+        timeout_ms: float | None = None,
     ) -> int:
         self._next_token += 1
         token = (self.peer << 24) | (self._next_token & 0xFFFFFF)
         self._pending[token] = callback
         if timeout:
-            self.after(self.config.request_timeout_ms, self._timeout, token)
+            self.after(
+                timeout_ms if timeout_ms is not None else self.config.request_timeout_ms,
+                self._timeout,
+                token,
+            )
         return token
 
     def _timeout(self, token: int) -> None:
@@ -468,6 +508,10 @@ class ChordProtocolNode(SimNode):
             state = self.rings.get(p["ring"])
             if state is not None:
                 state.successor = (p["succ_peer"], p["succ_id"])
+        elif kind == "ping":
+            self.reply(message, "pong", ring=p["ring"])
+        elif kind == "pong":
+            self._resolve(message)
         elif kind == "next_hop_query":
             self._answer_next_hop(message)
         elif kind == "next_hop_answer":

@@ -1,0 +1,140 @@
+"""Failure-aware Chord routing over stale ring snapshots.
+
+The static stack's :class:`~repro.dht.ring_array.SortedRing` is a
+snapshot of *believed* membership — exactly what a node's finger table
+is between stabilisation rounds.  When peers crash, the snapshot goes
+stale: fingers and successors still point at dead nodes.  This module
+routes through such a stale ring the way a real Chord node does (§3.3):
+try the greedy hop; if the contact times out, fall back to the next-best
+finger, then to successor-list entries, paying timeout penalties for
+every failed contact, until either a live hop advances the lookup or
+every known candidate is exhausted and the lookup fails.
+
+The same routine serves both HIERAS loop styles: ``to_owner=True`` is
+the global ring's terminating loop (ends at the first *live* successor
+of the key); ``to_owner=False`` is a lower layer's predecessor loop
+(stops at the key's closest live predecessor in the ring).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable
+
+from repro.dht.ring_array import SortedRing
+
+__all__ = ["lossy_ring_route"]
+
+
+def lossy_ring_route(
+    ring: SortedRing,
+    start_pos: int,
+    key: int,
+    *,
+    to_owner: bool,
+    contact: Callable[[int, int], bool],
+    is_dead: Callable[[int], bool],
+    fallback_r: int,
+    max_hops: int,
+) -> tuple[list[int], bool]:
+    """Route ``key`` from ``start_pos`` through a possibly-stale ring.
+
+    Parameters
+    ----------
+    contact:
+        ``contact(src_peer, dst_peer) -> bool`` — attempt to reach a
+        peer, charging timeout penalties to the caller's accumulator on
+        failure.  Routing itself never inspects liveness directly: a
+        node only learns a finger is dead by timing out on it.
+    is_dead:
+        Ground-truth liveness (used only to compute the *destination* —
+        which live member actually owns the key — never to pick hops).
+    fallback_r:
+        Successor-list length used for fallback candidates (§3.3).
+    max_hops:
+        Give up after this many successful forwards (routing through a
+        heavily-damaged ring must terminate).
+
+    Returns
+    -------
+    (positions, ok):
+        Ring positions visited (start included).  ``ok`` is False when
+        the lookup died: no live candidate could be contacted, the hop
+        budget ran out, or no live member owns the key.
+    """
+    n = len(ring)
+    size = ring.space.size
+    idlist = ring._idlist
+    peers = ring.peers
+    key = int(key) % size
+
+    path = [start_pos]
+    # Destination among live members: first live member at/after the key.
+    owner0 = ring.successor_pos(key)
+    live_owner = -1
+    for k in range(n):
+        p = (owner0 + k) % n
+        if not is_dead(int(peers[p])):
+            live_owner = p
+            break
+    if live_owner < 0:
+        return path, False  # nobody left alive to own the key
+
+    cur = start_pos
+    hops = 0
+    while True:
+        cur_id = idlist[cur]
+        d = (key - cur_id) % size
+        if d == 0 or cur == live_owner:
+            return path, True  # cur owns the key (among live members)
+        if not to_owner:
+            # Predecessor-stop (§3.2 lower loops): if no live member sits
+            # strictly between cur and the key, cur is the key's closest
+            # live predecessor in this ring and the loop ends here.
+            nxt = -1
+            for k in range(1, n):
+                p = (cur + k) % n
+                if not is_dead(int(peers[p])):
+                    nxt = p
+                    break
+            if nxt < 0:
+                return path, True  # cur is the only live member
+            if d <= (idlist[nxt] - cur_id) % size:
+                return path, True
+        if hops >= max_hops:
+            return path, False
+
+        # Candidate next hops, best first: greedy finger, then each
+        # next-smaller finger, then successor-list entries — all still
+        # strictly advancing towards the key.  The final hop onto the
+        # owner itself comes from the successor list (a node's list
+        # reaches past dead immediate successors, §3.3).
+        seen = {cur}
+        cands: list[int] = []
+        for i in range((d - 1).bit_length() - 1, -1, -1):
+            start = (cur_id + (1 << i)) % size
+            j = bisect_left(idlist, start)
+            fpos = 0 if j == n else j
+            fd = (idlist[fpos] - cur_id) % size
+            if 0 < fd < d and fpos not in seen:
+                seen.add(fpos)
+                cands.append(fpos)
+        for k in range(1, min(max(fallback_r, 1), n - 1) + 1):
+            p = (cur + k) % n
+            fd = (idlist[p] - cur_id) % size
+            if 0 < fd < d and p not in seen:
+                seen.add(p)
+                cands.append(p)
+        if to_owner and live_owner not in seen and 0 < (live_owner - cur) % n <= max(fallback_r, 1):
+            cands.append(live_owner)
+
+        advanced = False
+        for p in cands:
+            if contact(int(peers[cur]), int(peers[p])):
+                cur = p
+                path.append(p)
+                hops += 1
+                advanced = True
+                break
+        if not advanced:
+            return path, False  # every known candidate is dead/unreachable

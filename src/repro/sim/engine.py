@@ -107,19 +107,29 @@ class Simulator:
             events stay queued; the clock advances to ``until``).
         max_events:
             Safety valve for protocols that schedule periodic timers
-            forever; raises RuntimeError when exceeded so tests fail
-            loudly instead of spinning.
+            forever; processes at most this many events, then raises
+            RuntimeError if more remain so tests fail loudly instead of
+            spinning.
         """
         processed = 0
         while self._heap:
             if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return
+            if max_events is not None and processed >= max_events:
+                # Budget exhausted: only complain if a live event (one
+                # that would actually run, within `until`) is pending.
+                while self._heap and not self._heap[0][2].alive:
+                    heapq.heappop(self._heap)
+                if not self._heap:
+                    return
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    return
+                raise RuntimeError(f"exceeded max_events={max_events}")
             if not self.step():
                 return
             processed += 1
-            if max_events is not None and processed > max_events:
-                raise RuntimeError(f"exceeded max_events={max_events}")
 
     @property
     def pending(self) -> int:

@@ -11,9 +11,10 @@ experiments can report protocol overheads (§3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.topology.base import LatencyModel
+from repro.util.rng import make_rng
 from repro.util.validation import require
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -56,12 +57,14 @@ class SimNetwork:
         require(0.0 <= loss_rate < 1.0, "loss_rate must be in [0, 1)")
         self.sim = sim
         self.latency = latency
+        # loss_rate is deliberately a plain mutable attribute: fault
+        # injectors flip it mid-run (loss bursts), so the RNG must exist
+        # up front — via the repo-wide determinism contract.
         self.loss_rate = loss_rate
-        self._loss_rng = None
-        if loss_rate > 0.0:
-            import numpy as np
-
-            self._loss_rng = np.random.default_rng(loss_seed)
+        self._loss_rng = make_rng(loss_seed)
+        # Optional reachability hook (network partitions): messages with
+        # drop_filter(src, dst) == True are undeliverable and counted lost.
+        self.drop_filter: Callable[[int, int], bool] | None = None
         self._nodes: dict[int, "SimNode"] = {}
         # Accounting (per message kind) for the §3.4 overhead analysis.
         self.messages_sent = 0
@@ -100,13 +103,18 @@ class SimNetwork:
         never occurs.  Messages to unregistered or failed peers are
         counted and dropped at delivery time — the sender cannot know.
         """
-        delay = 0.0 if src == dst else float(self.latency.pair(src, dst))
         self.messages_sent += 1
-        self.total_delay_ms += delay
         self.sent_by_kind[message.kind] = self.sent_by_kind.get(message.kind, 0) + 1
-        if self._loss_rng is not None and src != dst and self._loss_rng.random() < self.loss_rate:
-            self.messages_lost += 1
-            return
+        if src != dst:
+            if self.drop_filter is not None and self.drop_filter(src, dst):
+                self.messages_lost += 1
+                return
+            if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
+                self.messages_lost += 1
+                return
+        # Lost messages never cross a link, so they contribute no delay.
+        delay = 0.0 if src == dst else float(self.latency.pair(src, dst))
+        self.total_delay_ms += delay
         self.sim.schedule(delay, self._deliver, dst, message)
 
     def _deliver(self, dst: int, message: Message) -> None:
@@ -117,13 +125,18 @@ class SimNetwork:
         node.handle_message(message)
 
     # ------------------------------------------------------------------
-    def stats(self) -> dict[str, float]:
-        """Message-count / delay summary for overhead reporting."""
+    def stats(self) -> dict[str, object]:
+        """Message-count / delay summary for overhead reporting.
+
+        ``mean_delay_ms`` averages over messages that actually crossed a
+        link (lost messages contribute neither delay nor weight).
+        """
+        delivered = self.messages_sent - self.messages_lost
         return {
             "messages_sent": float(self.messages_sent),
             "messages_dropped": float(self.messages_dropped),
+            "messages_lost": float(self.messages_lost),
             "total_delay_ms": self.total_delay_ms,
-            "mean_delay_ms": (
-                self.total_delay_ms / self.messages_sent if self.messages_sent else 0.0
-            ),
+            "mean_delay_ms": self.total_delay_ms / delivered if delivered else 0.0,
+            "sent_by_kind": dict(self.sent_by_kind),
         }

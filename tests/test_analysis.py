@@ -14,7 +14,6 @@ from repro.analysis.stats import (
     summarize,
 )
 from repro.analysis.tables import format_table, render_series
-from repro.util.ids import IdSpace
 from repro.workloads.requests import generate_requests
 
 

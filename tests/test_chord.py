@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dht.base import ZeroLatency
 from repro.dht.chord import ChordNetwork
 from repro.util.ids import IdSpace
 from repro.util.intervals import clockwise_distance

@@ -232,7 +232,6 @@ class TestIterativeLookups:
 class TestSuccessorListShortcut:
     def test_shortcut_finds_predecessor_in_list(self, converged):
         space, ids, sim, net, nodes = converged
-        cycle = expected_cycle(ids)
         node = nodes[0]
         slist = node.ring_state().successor_list
         assert len(slist) >= 2

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.analysis.stats import collect_routes
 from repro.experiments.config import DEFAULT_REQUESTS, FULL_REQUESTS, SimConfig, is_full_scale
 from repro.experiments.figures import EXPERIMENTS, get_experiment
 from repro.experiments.runner import build_bundle, clear_cache, make_trace, run_pair

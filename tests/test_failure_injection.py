@@ -29,7 +29,7 @@ class TestMessageLoss:
 
         space = IdSpace(8)
         a = Sink(0, 1, space, sim, net)
-        b = Sink(1, 2, space, sim, net)
+        Sink(1, 2, space, sim, net)  # registered receiver
         for _ in range(200):
             a.send(1, "noop")
         sim.run()

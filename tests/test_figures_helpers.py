@@ -1,8 +1,5 @@
 """Tests for experiment-registry internals and misc public surface."""
 
-import numpy as np
-import pytest
-
 import repro
 from repro.experiments import figures
 from repro.experiments.config import SimConfig

@@ -10,7 +10,6 @@ from repro.dht.chord_protocol import GLOBAL_RING
 from repro.sim.engine import Simulator
 from repro.sim.network import SimNetwork
 from repro.util.ids import IdSpace
-from repro.util.intervals import in_interval
 
 
 def build_system(n=24, rings=2, seed=3, bits=16, join_gap_ms=300.0, settle_ms=60000.0):
@@ -141,10 +140,8 @@ class TestHierarchicalLookup:
 
     def test_early_exit_when_origin_owns(self, system):
         space, ids, names, sim, net, nodes = system
-        # Find a node and a key it owns.
-        sorted_ids = np.sort(ids)
+        # A node and a key it owns.
         node = nodes[5]
-        state = node.rings[GLOBAL_RING]
         key = node.node_id  # it owns its own id
         results = []
         node.hieras_lookup(int(key), results.append)
@@ -190,10 +187,7 @@ class TestRingTableHostFailure:
         """The ring-table host crashes; members' periodic republish
         re-creates the table at the new owner of the ring id."""
         space, ids, names, sim, net, nodes = build_system(n=20, rings=2, seed=31)
-        from repro.core.ring import ring_id as rid_of
-
         ring = "0"
-        rid = rid_of(space, ring)
         hosts = [p for p in range(20) if ring in nodes[p].stored_ring_tables]
         assert hosts, "someone must host the table after convergence"
         host = hosts[0]

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.dht.base import ZeroLatency
 from repro.sim.engine import Simulator
 from repro.sim.network import Message, SimNetwork
 from repro.sim.node import SimNode
@@ -73,6 +72,44 @@ class TestSimulator:
         sim.schedule(0.0, forever)
         with pytest.raises(RuntimeError, match="max_events"):
             sim.run(max_events=50)
+
+    def test_max_events_boundary_exact(self):
+        """run(max_events=N) processes exactly N events, no off-by-one:
+        a queue of N events drains fine, N+1 raises after N callbacks."""
+        sim = Simulator()
+        out = []
+        for i in range(5):
+            sim.schedule(float(i), out.append, i)
+        sim.run(max_events=5)
+        assert out == [0, 1, 2, 3, 4]
+
+        sim2 = Simulator()
+        fired = []
+        for i in range(6):
+            sim2.schedule(float(i), fired.append, i)
+        with pytest.raises(RuntimeError, match="max_events=5"):
+            sim2.run(max_events=5)
+        assert fired == [0, 1, 2, 3, 4]  # the 6th event never ran
+
+    def test_max_events_ignores_cancelled_tail(self):
+        """Budget exhaustion with only cancelled events left returns
+        instead of raising."""
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, "a")
+        dead = sim.schedule(2.0, out.append, "b")
+        dead.cancel()
+        sim.run(max_events=1)
+        assert out == ["a"]
+
+    def test_max_events_respects_until(self):
+        """A live event beyond `until` must not trip the budget error."""
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule(50.0, out.append, "late")
+        sim.run(until=10.0, max_events=1)
+        assert out == ["a"] and sim.now == 10.0
 
     def test_schedule_at(self):
         sim = Simulator()
@@ -157,6 +194,44 @@ class TestSimNetwork:
         assert stats["messages_sent"] == 2.0  # ping + pong
         assert stats["mean_delay_ms"] == 50.0
         assert network.sent_by_kind == {"ping": 1, "pong": 1}
+
+    def test_stats_reports_losses_and_kinds(self, net):
+        sim, network, nodes = net
+        network.loss_rate = 0.5
+        for _ in range(100):
+            nodes[0].send(1, "probe")
+        sim.run()
+        stats = network.stats()
+        assert stats["messages_lost"] == float(network.messages_lost)
+        assert 20 < network.messages_lost < 80
+        assert stats["sent_by_kind"] == {"probe": 100}
+
+    def test_lost_messages_contribute_no_delay(self, net):
+        """total_delay_ms / mean_delay_ms must only count messages that
+        actually crossed a link (regression: losses used to inflate it)."""
+        sim, network, nodes = net
+        network.loss_rate = 0.5
+        for _ in range(100):
+            nodes[0].send(1, "probe")
+        sim.run()
+        delivered = network.messages_sent - network.messages_lost
+        assert network.total_delay_ms == 50.0 * delivered
+        assert network.stats()["mean_delay_ms"] == 50.0
+        assert len(nodes[1].received) == delivered
+
+    def test_drop_filter_blocks_and_counts(self, net):
+        sim, network, nodes = net
+        network.drop_filter = lambda src, dst: dst == 2
+        nodes[0].send(1, "ok")
+        nodes[0].send(2, "blocked")
+        sim.run()
+        assert network.messages_lost == 1
+        assert [m.kind for m in nodes[1].received] == ["ok"]
+        assert nodes[2].received == []
+        # local delivery bypasses the filter entirely
+        nodes[2].send(2, "self")
+        sim.run()
+        assert [m.kind for m in nodes[2].received] == ["self"]
 
     def test_duplicate_registration_rejected(self, net):
         sim, network, nodes = net

@@ -142,6 +142,29 @@ class TestChurn:
         )
         assert generate_churn(**kw).events == generate_churn(**kw).events
 
+    def test_whole_schedule_identical_per_seed(self):
+        """Same seed ⇒ the full ChurnSchedule (events, initial peers,
+        universe) compares equal — fault experiments replay it on both
+        stacks and rely on exact identity."""
+        kw = dict(
+            universe=25, initial=12, duration_ms=80_000,
+            mean_session_ms=9_000, mean_offline_ms=7_000,
+            fail_fraction=0.3,
+        )
+        a = generate_churn(seed=9, **kw)
+        b = generate_churn(seed=9, **kw)
+        assert a == b
+        assert generate_churn(seed=10, **kw).events != a.events
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_across_seeds(self, seed):
+        kw = dict(
+            universe=12, initial=6, duration_ms=40_000,
+            mean_session_ms=6_000, mean_offline_ms=6_000, seed=seed,
+        )
+        assert generate_churn(**kw).events == generate_churn(**kw).events
+
     @given(st.integers(min_value=0, max_value=2**32))
     @settings(max_examples=20, deadline=None)
     def test_events_within_duration(self, seed):
