@@ -1,0 +1,16 @@
+"""Benchmark: the perf-baseline pipeline (repro.metrics end to end).
+
+Delegates to the registered ``perf_baseline`` experiment, which times
+each pipeline phase (build, trace, traced routing on both stacks, a
+protocol-stack smoke with the simulator registry attached) and checks
+the seed-deterministic metrics section — so this bench both measures
+the observability overhead path and gates on the §4.3 low-layer-hop
+claim as seen by the span layer.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_perf_baseline(benchmark):
+    """Phase wall times + deterministic hop/latency metrics, both stacks."""
+    run_experiment_benchmark(benchmark, "perf_baseline")

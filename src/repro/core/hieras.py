@@ -300,7 +300,7 @@ class HierasNetwork(DHTNetwork):
                     cur = owner
                     hops += 1
             hops_per_layer.append(hops)
-        return RouteResult(
+        result = RouteResult(
             source=source,
             key=key,
             owner=path[-1],
@@ -308,6 +308,10 @@ class HierasNetwork(DHTNetwork):
             latency_ms=self.route_latency(self.latency, path),
             hops_per_layer=hops_per_layer,
         )
+        if self.metrics is not None:
+            layers, rings = self._hop_layer_info(result)
+            self.record_route("hieras", result, layers=layers, rings=rings)
+        return result
 
     def route_lossy(self, source: int, key: int, *, injector) -> RouteResult:
         """Failure-aware bottom-up routing under an active fault injector.
@@ -361,7 +365,7 @@ class HierasNetwork(DHTNetwork):
             if not sub_ok:
                 ok = False
                 break
-        return RouteResult(
+        result = RouteResult(
             source=source,
             key=key,
             owner=path[-1] if ok else -1,
@@ -372,6 +376,30 @@ class HierasNetwork(DHTNetwork):
             timeouts=ctx.timeouts,
             retry_latency_ms=ctx.retry_latency_ms,
         )
+        if self.metrics is not None:
+            layers, rings = self._hop_layer_info(result)
+            self.record_route("hieras", result, layers=layers, rings=rings)
+        return result
+
+    def _hop_layer_info(self, result: RouteResult) -> tuple[list[int], list[str]]:
+        """Per-hop ``(layers, rings)`` labels for one finished lookup.
+
+        ``hops_per_layer`` is ordered lowest layer first, matching the
+        ``range(depth, 0, -1)`` routing loop, so zipping the two
+        recovers which ring each ``path`` edge ran in.  A hop's ring is
+        named after its *source* peer — the peer whose ring-restricted
+        finger table chose the next hop.
+        """
+        layers: list[int] = []
+        rings: list[str] = []
+        hop_index = 0
+        for layer, layer_hops in zip(range(self.depth, 0, -1), result.hops_per_layer):
+            for _ in range(layer_hops):
+                src = result.path[hop_index]
+                layers.append(layer)
+                rings.append("global" if layer == 1 else self.ring_name_of(src, layer))
+                hop_index += 1
+        return layers, rings
 
     # ------------------------------------------------------------------
     # inspection (Table 2, §3.4 cost model)

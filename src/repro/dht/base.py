@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.metrics.spans import HopRecord, LookupSpan, SpanRecorder
 from repro.topology.base import LatencyModel
 
 __all__ = ["RouteResult", "DHTNetwork", "ZeroLatency"]
@@ -107,7 +108,75 @@ class DHTNetwork(ABC):
     Peers are integers ``0..n_peers-1``; keys live in the network's
     identifier space.  ``route`` must be deterministic given the
     network state.
+
+    Observability (DESIGN.md §7): every stack carries a ``metrics``
+    slot, ``None`` by default.  When a
+    :class:`~repro.metrics.spans.SpanRecorder` is attached via
+    :meth:`enable_tracing`, instrumented ``route``/``route_lossy``
+    implementations emit one :class:`~repro.metrics.spans.LookupSpan`
+    per lookup, with per-hop ring layers and link delays.  The
+    uninstrumented path pays a single ``is None`` check — span inputs
+    (per-hop latencies, layer labels) are only built after the guard.
     """
+
+    #: Per-lookup span recorder; ``None`` disables collection entirely.
+    metrics: SpanRecorder | None = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def enable_tracing(self, recorder: SpanRecorder) -> SpanRecorder:
+        """Attach a span recorder; every subsequent lookup is traced."""
+        self.metrics = recorder
+        return recorder
+
+    def disable_tracing(self) -> None:
+        """Detach the recorder — routing reverts to the zero-cost path."""
+        self.metrics = None
+
+    def record_route(
+        self,
+        label: str,
+        result: "RouteResult",
+        *,
+        layers: list[int] | None = None,
+        rings: list[str] | None = None,
+    ) -> None:
+        """Build and record the span of one finished lookup.
+
+        ``layers``/``rings`` give each hop's ring layer and ring name;
+        flat DHTs omit them (every hop runs in the single global ring).
+        Callers must have checked ``self.metrics is not None`` — this
+        method assumes a live recorder.
+        """
+        n = len(result.path) - 1
+        if layers is None:
+            layers = [1] * n
+        if rings is None:
+            rings = ["global"] * n
+        latency = getattr(self, "latency", None)
+        hops = []
+        for i in range(n):
+            u, v = result.path[i], result.path[i + 1]
+            delay = float(latency.pair(u, v)) if latency is not None else 0.0
+            hops.append(
+                HopRecord(
+                    index=i, src=u, dst=v, layer=layers[i], ring=rings[i],
+                    latency_ms=delay,
+                )
+            )
+        self.metrics.record(
+            LookupSpan(
+                network=label,
+                source=result.source,
+                key=result.key,
+                owner=result.owner,
+                success=result.success,
+                hops=hops,
+                timeouts=result.timeouts,
+                retry_latency_ms=result.retry_latency_ms,
+            )
+        )
 
     @property
     @abstractmethod

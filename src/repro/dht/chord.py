@@ -142,7 +142,7 @@ class ChordNetwork(DHTNetwork):
             int(self._pos_of_peer[source]), key, succ_list_r=self.successor_list_r
         )
         path = [int(self.ring.peers[p]) for p in positions]
-        return RouteResult(
+        result = RouteResult(
             source=source,
             key=key,
             owner=path[-1],
@@ -150,6 +150,9 @@ class ChordNetwork(DHTNetwork):
             latency_ms=self.route_latency(self.latency, path),
             hops_per_layer=[len(path) - 1],
         )
+        if self.metrics is not None:
+            self.record_route("chord", result)
+        return result
 
     def route_lossy(self, source: int, key: int, *, injector) -> RouteResult:
         """Failure-aware routing under an active fault injector.
@@ -184,7 +187,7 @@ class ChordNetwork(DHTNetwork):
             max_hops=max_hops,
         )
         path = [int(self.ring.peers[p]) for p in positions]
-        return RouteResult(
+        result = RouteResult(
             source=source,
             key=key,
             owner=path[-1] if ok else -1,
@@ -195,6 +198,9 @@ class ChordNetwork(DHTNetwork):
             timeouts=ctx.timeouts,
             retry_latency_ms=ctx.retry_latency_ms,
         )
+        if self.metrics is not None:
+            self.record_route("chord", result)
+        return result
 
     # ------------------------------------------------------------------
     # inspection

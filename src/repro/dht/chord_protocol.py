@@ -226,12 +226,19 @@ class ChordProtocolNode(SimNode):
         """Resolve ``key``'s owner inside ``ring``; async result via callback."""
         key = self.space.wrap(int(key))
         self.lookup_count += 1
+        m = self.network.metrics
+        if m is not None:
+            m.inc("protocol.lookups")
         token = self._register(lambda msg: self._finish_lookup(msg, callback))
         self._route_find(ring, key, origin=self.peer, hops=0, token=token)
 
     def _finish_lookup(self, msg: Message | None, callback: Callable[[LookupOutcome], None]) -> None:
         if msg is None:
             return  # lookup lost to a failure; caller may retry
+        m = self.network.metrics
+        if m is not None:
+            m.inc("protocol.lookups_completed")
+            m.observe("protocol.lookup_hops", msg.payload["hops"])
         callback(
             LookupOutcome(
                 key=msg.payload["key"],
@@ -288,6 +295,8 @@ class ChordProtocolNode(SimNode):
         """Resolve ``key`` iteratively from this node."""
         key = self.space.wrap(int(key))
         self.lookup_count += 1
+        if self.network.metrics is not None:
+            self.network.metrics.inc("protocol.lookups")
         self._iterative_step(ring, key, self.peer, 0, callback)
 
     def _iterative_step(
@@ -305,6 +314,10 @@ class ChordProtocolNode(SimNode):
                 owner = msg.payload["next_peer"]
                 owner_id = msg.payload["next_id"]
                 final_hops = hops if owner == at_peer else hops + 1
+                m = self.network.metrics
+                if m is not None:
+                    m.inc("protocol.lookups_completed")
+                    m.observe("protocol.lookup_hops", final_hops)
                 callback(
                     LookupOutcome(
                         key=key, owner_peer=owner, owner_id=owner_id,

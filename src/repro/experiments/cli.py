@@ -14,6 +14,15 @@ Subcommands
 ``report``
     Run every experiment and write a single markdown report (the
     machinery behind refreshing EXPERIMENTS.md's recorded numbers).
+``perf-baseline``
+    Run the perf-baseline pipeline (``repro.experiments.baseline``) and
+    write ``BENCH_baseline.json``: wall time per phase plus
+    seed-deterministic hop/latency metrics for both stacks.
+
+``run`` additionally drops one ``metrics_<id>.json`` artifact per
+experiment (structured result data; directory overridable via
+``REPRO_ARTIFACT_DIR``) so CI can collect machine-readable outputs
+alongside the printed reports.
 """
 
 from __future__ import annotations
@@ -36,6 +45,44 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _json_default(obj: object) -> object:
+    """JSON fallback for numpy scalars/arrays inside result data."""
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return str(obj)
+
+
+def _write_metrics_artifact(result, *, full: bool, seed: int, wall_s: float) -> None:
+    """Drop one machine-readable artifact per finished experiment.
+
+    Written to ``REPRO_ARTIFACT_DIR`` (default: cwd, gitignored) so CI
+    can upload the structured numbers behind each printed report.
+    """
+    import json
+    import os
+    from pathlib import Path
+
+    doc = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "seed": seed,
+        "full": full,
+        "wall_s": wall_s,
+        "diverged": "[DIVERGES]" in result.text,
+        "data": result.data,
+    }
+    path = Path(os.environ.get("REPRO_ARTIFACT_DIR", "."))
+    try:
+        target = path / f"metrics_{result.experiment_id}.json"
+        target.write_text(
+            json.dumps(doc, indent=2, default=_json_default), encoding="utf-8"
+        )
+        print(f"(wrote {target})")
+    except OSError:  # pragma: no cover - unwritable artifact dir
+        pass
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
     full = is_full_scale(True if args.full else None)
@@ -48,10 +95,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("-" * 72)
         start = time.time()
         result = exp.run(full, args.seed)
+        wall_s = time.time() - start
         print(result.text)
-        print(f"({time.time() - start:.1f}s)")
+        print(f"({wall_s:.1f}s)")
         if "[DIVERGES]" in result.text:
             failures += 1
+        _write_metrics_artifact(result, full=full, seed=args.seed, wall_s=wall_s)
         print()
     if failures:
         print(f"{failures} experiment(s) diverged from the paper's claims")
@@ -124,6 +173,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_perf_baseline(args: argparse.Namespace) -> int:
+    from repro.experiments.baseline import run_perf_baseline, write_baseline
+
+    full = is_full_scale(True if args.full else None)
+    doc = run_perf_baseline(full=full, seed=args.seed)
+    path = write_baseline(doc, args.out)
+    for name, phase in doc["phases"].items():
+        print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
+    for net in ("chord", "hieras"):
+        m = doc["metrics"][net]
+        print(
+            f"  {net:<8} hops mean {m['hops']['mean']:.2f} p99 {m['hops']['p99']:.2f}  "
+            f"latency mean {m['latency_ms']['mean']:.0f}ms "
+            f"low-layer {100 * m['low_layer_hop_share']:.1f}%"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -151,6 +219,16 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("--full", action="store_true", help="paper-scale parameters")
     report.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
     report.set_defaults(func=_cmd_report)
+    baseline = sub.add_parser(
+        "perf-baseline", help="run the perf-baseline pipeline, write BENCH_baseline.json"
+    )
+    baseline.add_argument(
+        "--out", default="BENCH_baseline.json",
+        help="output path (default BENCH_baseline.json)",
+    )
+    baseline.add_argument("--full", action="store_true", help="paper-scale parameters")
+    baseline.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
+    baseline.set_defaults(func=_cmd_perf_baseline)
     args = parser.parse_args(argv)
     return int(args.func(args))
 

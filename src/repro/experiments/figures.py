@@ -925,7 +925,7 @@ def _measure_join_costs(seed: int) -> list[dict[str, object]]:
     from repro.dht.chord_protocol import GLOBAL_RING, ChordProtocolNode
     from repro.sim.engine import Simulator
     from repro.sim.network import SimNetwork
-    from repro.sim.trace import MessageTracer
+    from repro.metrics.messages import MessageTracer
     from repro.util.ids import IdSpace
 
     space = IdSpace(16)
@@ -1320,6 +1320,79 @@ def _run_resilience(full: bool, seed: int) -> ExperimentResult:
     )
 
 
+def _run_perf_baseline(full: bool, seed: int) -> ExperimentResult:
+    """Perf baseline: per-phase wall times + deterministic lookup metrics.
+
+    Wall times live in the ``phases`` section (machine-dependent, shown
+    for regression spotting only); the ``metrics`` section is a pure
+    function of the seed, so the shape checks below — and the
+    reproducibility test — pin it exactly.
+    """
+    from repro.experiments.baseline import run_perf_baseline
+
+    doc = run_perf_baseline(full=full, seed=seed)
+    metrics = doc["metrics"]
+    rows = []
+    for net in ("chord", "hieras"):
+        m = metrics[net]
+        rows.append(
+            {
+                "network": net,
+                "lookups": int(m["lookups"]),
+                "mean_hops": round(m["hops"]["mean"], 2),
+                "p99_hops": round(m["hops"]["p99"], 2),
+                "mean_latency_ms": round(m["latency_ms"]["mean"], 0),
+                "p99_latency_ms": round(m["latency_ms"]["p99"], 0),
+                "low_layer_hop_%": round(100 * m["low_layer_hop_share"], 1),
+            }
+        )
+    proto = metrics["protocol"]
+    n_requests = doc["config"]["n_requests"]
+    low_share = metrics["hieras"]["low_layer_hop_share"]
+    checks = [
+        _claim(
+            metrics["chord"]["lookups"] == n_requests
+            and metrics["hieras"]["lookups"] == n_requests,
+            "span collection sees every routed request on both stacks",
+        ),
+        _claim(
+            low_share > 0.5,
+            "the majority of HIERAS hops resolve inside lower-layer rings "
+            "(§4.3's mechanism, observed per-hop by the span layer)",
+        ),
+        _claim(
+            metrics["hieras"]["latency_ms"]["mean"]
+            < metrics["chord"]["latency_ms"]["mean"],
+            "HIERAS's latency advantage shows up in the streaming histograms",
+        ),
+        _claim(
+            proto["lookups_completed"] == proto["lookups_issued"],
+            "protocol smoke: every scheduled lookup completes with the "
+            "simulator registry attached",
+        ),
+    ]
+    phase_line = "  ".join(
+        f"{name}={p['wall_ms']:.0f}ms" for name, p in doc["phases"].items()
+    )
+    lines = [
+        f"{doc['config']['n_peers']} peers, {n_requests} lookups, seed {seed}; "
+        "wall times are machine-dependent, metrics are seed-deterministic",
+        format_table(rows),
+        "",
+        f"phases (wall): {phase_line}",
+        f"protocol smoke: {int(proto['counters'].get('sim.messages_sent', 0))} "
+        f"messages, {int(proto['counters'].get('sim.events_processed', 0))} events",
+        "",
+        *checks,
+    ]
+    return ExperimentResult(
+        "perf_baseline",
+        "Perf baseline — phase timings and lookup metrics",
+        "\n".join(lines),
+        data=doc,
+    )
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -1440,6 +1513,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Resilience — failure-aware lookups under crashes and loss",
             "successor lists keep lookups succeeding through failures (§3.3)",
             _run_resilience,
+        ),
+        Experiment(
+            "perf_baseline",
+            "Perf baseline — phase timings and lookup metrics",
+            "majority of HIERAS hops in lower rings; latency advantage in "
+            "streaming histograms (§4.3)",
+            _run_perf_baseline,
         ),
     ]
 }

@@ -1,0 +1,419 @@
+"""Streaming metric primitives: counters, gauges, timers, histograms.
+
+The registry is the single accumulation point of the observability
+subsystem (DESIGN.md §7): routing spans, protocol counters, simulator
+event accounting and benchmark phase timers all land here.  Everything
+is pure Python — no numpy — so the hot paths that carry a registry
+(``SimNetwork.send``, ``route`` instrumentation) pay only dict lookups
+and integer adds, and an *unattached* path pays a single ``is None``
+check.
+
+Histograms are **deterministic log-bucketed streaming** estimators:
+values are counted in geometric buckets ``[base**i, base**(i+1))``, so
+state is O(log(max/min)) regardless of sample count, merging two
+histograms is exact bucket-count addition (associative and commutative
+— safe to combine per-shard registries in any order), and quantiles are
+reproducible functions of the bucket counts alone.  Serialization is
+stable: :meth:`Histogram.to_dict` sorts bucket keys, so identical
+streams produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.util.validation import require
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+#: Default geometric bucket growth factor: ~5% relative quantile error,
+#: ~160 buckets covering 1e-3 .. 1e7 — plenty for hop counts (units)
+#: and latencies (ms) alike.
+DEFAULT_BASE = 1.1
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the count."""
+        require(n >= 0, f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+
+class Gauge:
+    """A named last-value-wins measurement (queue depth, clock, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Deterministic log-bucketed streaming histogram.
+
+    Records non-negative values; zeros are counted apart (a log bucket
+    cannot hold them), negatives are rejected.  Exact ``count``,
+    ``total``, ``min`` and ``max`` are kept alongside the buckets, so
+    the mean is exact and quantiles are clamped to the observed range.
+    """
+
+    __slots__ = ("name", "base", "_log_base", "count", "total", "zero_count",
+                 "min", "max", "buckets")
+
+    def __init__(self, name: str = "", *, base: float = DEFAULT_BASE) -> None:
+        require(base > 1.0, f"histogram base must be > 1, got {base}")
+        self.name = name
+        self.base = float(base)
+        self._log_base = math.log(self.base)
+        self.count = 0
+        self.total = 0.0
+        self.zero_count = 0
+        self.min = math.inf
+        self.max = -math.inf
+        #: bucket index -> count; bucket ``i`` covers [base**i, base**(i+1)).
+        self.buckets: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _index(self, value: float) -> int:
+        return math.floor(math.log(value) / self._log_base)
+
+    def record(self, value: float) -> None:
+        """Record one observation (``value >= 0``)."""
+        value = float(value)
+        require(value >= 0.0, f"histogram values must be >= 0, got {value}")
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value == 0.0:
+            self.zero_count += 1
+            return
+        idx = self._index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    def record_many(self, values) -> None:
+        """Record an iterable of observations."""
+        for v in values:
+            self.record(v)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Exact mean of all recorded values (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Deterministic quantile estimate (nearest-rank over buckets).
+
+        The representative value of a bucket is its geometric midpoint
+        ``base**(i + 0.5)``, clamped to the exact observed ``[min, max]``
+        so the tails never overshoot reality.  Returns 0 when empty.
+        """
+        require(0.0 <= q <= 1.0, f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cum = self.zero_count
+        if target <= cum:
+            return 0.0
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            if target <= cum:
+                rep = self.base ** (idx + 0.5)
+                return min(max(rep, self.min), self.max)
+        return self.max  # pragma: no cover - unreachable (counts are consistent)
+
+    def summary(self) -> dict[str, float]:
+        """Compact quantile summary (the per-metric report row)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Pure merge: a new histogram holding both streams.
+
+        Bucket-count addition is exact, so merging is associative and
+        commutative — shard-local histograms combine in any order.
+        """
+        require(
+            abs(self.base - other.base) < 1e-12,
+            f"cannot merge histograms with bases {self.base} and {other.base}",
+        )
+        out = Histogram(self.name or other.name, base=self.base)
+        out.count = self.count + other.count
+        out.total = self.total + other.total
+        out.zero_count = self.zero_count + other.zero_count
+        out.min = min(self.min, other.min)
+        out.max = max(self.max, other.max)
+        out.buckets = dict(self.buckets)
+        for idx, c in other.buckets.items():
+            out.buckets[idx] = out.buckets.get(idx, 0) + c
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Stable serialization (sorted bucket keys; JSON-safe)."""
+        return {
+            "base": self.base,
+            "count": self.count,
+            "total": self.total,
+            "zero_count": self.zero_count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(i): self.buckets[i] for i in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Histogram":
+        """Inverse of :meth:`to_dict`."""
+        h = cls(base=float(data["base"]))  # type: ignore[arg-type]
+        h.count = int(data["count"])  # type: ignore[arg-type]
+        h.total = float(data["total"])  # type: ignore[arg-type]
+        h.zero_count = int(data["zero_count"])  # type: ignore[arg-type]
+        h.min = math.inf if data["min"] is None else float(data["min"])  # type: ignore[arg-type]
+        h.max = -math.inf if data["max"] is None else float(data["max"])  # type: ignore[arg-type]
+        h.buckets = {int(i): int(c) for i, c in data["buckets"].items()}  # type: ignore[union-attr]
+        return h
+
+
+class Timer:
+    """Wall-clock phase timer backed by a histogram of durations (ms).
+
+    Wall times are *not* deterministic; keep them out of any artifact
+    section that reproducibility tests compare (the perf-baseline
+    pipeline reports them under a separate ``phases`` key).
+    """
+
+    __slots__ = ("name", "histogram")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.histogram = Histogram(name, base=1.3)
+
+    def observe_ms(self, ms: float) -> None:
+        """Record one measured duration."""
+        self.histogram.record(ms)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Time a ``with`` block via ``time.perf_counter``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe_ms((time.perf_counter() - start) * 1000.0)
+
+    @property
+    def total_ms(self) -> float:
+        """Sum of all recorded durations."""
+        return self.histogram.total
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    One registry per measurement scope (an experiment run, a benchmark
+    phase, a simulation).  All accessors are create-on-first-use so
+    instrumentation sites never need set-up calls.
+    """
+
+    #: Fast-path flag: hot code may skip building inputs for a disabled
+    #: registry (`NullRegistry` flips it off).
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.timers: dict[str, Timer] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, *, base: float = DEFAULT_BASE) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, base=base)
+        return h
+
+    def timer(self, name: str) -> Timer:
+        t = self.timers.get(name)
+        if t is None:
+            t = self.timers[name] = Timer(name)
+        return t
+
+    # convenience forms used by instrumentation sites ------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).record(value)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (counters add, gauges take
+        the other's value, histograms bucket-merge)."""
+        for name, c in other.counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other.gauges.items():
+            self.gauge(name).set(g.value)
+        for name, h in other.histograms.items():
+            mine = self.histograms.get(name)
+            self.histograms[name] = h.merge(mine) if mine is not None else h.merge(
+                Histogram(name, base=h.base)
+            )
+        for name, t in other.timers.items():
+            mine_t = self.timers.get(name)
+            if mine_t is None:
+                mine_t = self.timers[name] = Timer(name)
+            mine_t.histogram = mine_t.histogram.merge(t.histogram)
+
+    def snapshot(self) -> dict[str, object]:
+        """Full, stable, JSON-safe dump of every metric."""
+        return {
+            "counters": {n: self.counters[n].value for n in sorted(self.counters)},
+            "gauges": {n: self.gauges[n].value for n in sorted(self.gauges)},
+            "histograms": {n: self.histograms[n].to_dict() for n in sorted(self.histograms)},
+            "timers": {n: self.timers[n].histogram.to_dict() for n in sorted(self.timers)},
+        }
+
+    def summary(self) -> dict[str, object]:
+        """Human-scale dump: counters, gauges, histogram quantiles."""
+        return {
+            "counters": {n: self.counters[n].value for n in sorted(self.counters)},
+            "gauges": {n: self.gauges[n].value for n in sorted(self.gauges)},
+            "histograms": {n: self.histograms[n].summary() for n in sorted(self.histograms)},
+            "timers": {
+                n: {"total_ms": self.timers[n].total_ms,
+                    "count": self.timers[n].histogram.count}
+                for n in sorted(self.timers)
+            },
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def record(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def __init__(self, name: str = "null") -> None:
+        super().__init__(name)
+        self.histogram = _NullHistogram(name)
+
+
+class NullRegistry(MetricsRegistry):
+    """The off switch: every operation is a no-op.
+
+    Instrumented code may hold :data:`NULL_REGISTRY` instead of ``None``
+    and call it unconditionally; the accessors hand back shared inert
+    instruments and record nothing.  ``enabled`` is False so hot paths
+    can skip even *building* metric inputs.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+        self._timer = _NullTimer()
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str, *, base: float = DEFAULT_BASE) -> Histogram:
+        return self._histogram
+
+    def timer(self, name: str) -> Timer:
+        return self._timer
+
+    def inc(self, name: str, n: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def merge(self, other: MetricsRegistry) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
+
+    def summary(self) -> dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
+
+
+#: Shared inert registry — attach this to disable collection without
+#: branching at every call site.
+NULL_REGISTRY = NullRegistry()

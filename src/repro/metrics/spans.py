@@ -1,0 +1,192 @@
+"""Per-lookup tracing: one :class:`LookupSpan` per routed request.
+
+A span records the whole life of one lookup — every hop with its ring
+layer, endpoints and link delay, plus the outcome — which makes the
+paper's core claim (*most hops resolve inside low-latency lower rings*,
+§4.3) directly observable on a single request instead of only in
+aggregate.  Spans serialize to flat JSON dicts and round-trip through
+the JSONL sink (:mod:`repro.metrics.sinks`).
+
+The :class:`SpanRecorder` is the glue the routing stacks talk to: it
+folds each span into a :class:`~repro.metrics.registry.MetricsRegistry`
+(hop/latency histograms, per-layer counters) and fans it out to sinks.
+Collection is **off by default** — networks carry ``metrics = None``
+and ``route()`` only builds span inputs after a not-None check, so the
+uninstrumented hot path pays one attribute load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
+from repro.util.validation import require
+
+__all__ = ["HopRecord", "LookupSpan", "SpanRecorder"]
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One message forward inside a lookup.
+
+    ``layer`` is the ring layer the hop ran in (1 = the global ring,
+    2..m the lower HIERAS rings; flat DHTs report 1 everywhere), and
+    ``ring`` the ring's name (``"global"`` for layer 1).
+    """
+
+    index: int
+    src: int
+    dst: int
+    layer: int
+    ring: str
+    latency_ms: float
+    timeout: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "src": self.src,
+            "dst": self.dst,
+            "layer": self.layer,
+            "ring": self.ring,
+            "latency_ms": self.latency_ms,
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "HopRecord":
+        return cls(
+            index=int(data["index"]),  # type: ignore[arg-type]
+            src=int(data["src"]),  # type: ignore[arg-type]
+            dst=int(data["dst"]),  # type: ignore[arg-type]
+            layer=int(data["layer"]),  # type: ignore[arg-type]
+            ring=str(data["ring"]),
+            latency_ms=float(data["latency_ms"]),  # type: ignore[arg-type]
+            timeout=bool(data["timeout"]),
+        )
+
+
+@dataclass
+class LookupSpan:
+    """The trace of one routed request across all its hops.
+
+    ``network`` labels the stack ("chord", "hieras", ...); ``owner`` is
+    -1 when a failure-aware lookup died mid-route (``success`` False).
+    """
+
+    network: str
+    source: int
+    key: int
+    owner: int
+    success: bool = True
+    hops: list[HopRecord] = field(default_factory=list)
+    timeouts: int = 0
+    retry_latency_ms: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_hops(self) -> int:
+        return len(self.hops)
+
+    @property
+    def latency_ms(self) -> float:
+        """Sum of per-hop link delays (excludes retry penalties)."""
+        return sum(h.latency_ms for h in self.hops)
+
+    @property
+    def total_latency_ms(self) -> float:
+        return self.latency_ms + self.retry_latency_ms
+
+    @property
+    def layers(self) -> list[int]:
+        """Ring layer of every hop, in hop order."""
+        return [h.layer for h in self.hops]
+
+    @property
+    def low_layer_hops(self) -> int:
+        """Hops taken below the global ring (layer >= 2)."""
+        return sum(1 for h in self.hops if h.layer >= 2)
+
+    @property
+    def low_layer_hop_share(self) -> float:
+        """Fraction of this lookup's hops inside lower rings (§4.3)."""
+        return self.low_layer_hops / len(self.hops) if self.hops else 0.0
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Flat JSON-safe form; inverse of :meth:`from_dict`."""
+        return {
+            "network": self.network,
+            "source": self.source,
+            "key": self.key,
+            "owner": self.owner,
+            "success": self.success,
+            "timeouts": self.timeouts,
+            "retry_latency_ms": self.retry_latency_ms,
+            "hops": [h.to_dict() for h in self.hops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "LookupSpan":
+        return cls(
+            network=str(data["network"]),
+            source=int(data["source"]),  # type: ignore[arg-type]
+            key=int(data["key"]),  # type: ignore[arg-type]
+            owner=int(data["owner"]),  # type: ignore[arg-type]
+            success=bool(data["success"]),
+            timeouts=int(data["timeouts"]),  # type: ignore[arg-type]
+            retry_latency_ms=float(data["retry_latency_ms"]),  # type: ignore[arg-type]
+            hops=[HopRecord.from_dict(h) for h in data["hops"]],  # type: ignore[union-attr]
+        )
+
+
+class SpanRecorder:
+    """Folds spans into a registry and fans them out to sinks.
+
+    Registry names are scoped by the span's network label, so one
+    recorder can serve several stacks at once::
+
+        chord.lookups, chord.hops, chord.latency_ms, ...
+        hieras.lookups, hieras.hops, hieras.hops.layer2, ...
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        sinks: tuple | list = (),
+    ) -> None:
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.sinks = list(sinks)
+
+    def record(self, span: LookupSpan) -> None:
+        """Account one finished lookup."""
+        reg = self.registry
+        if reg.enabled:
+            label = span.network
+            reg.inc(f"{label}.lookups")
+            if not span.success:
+                reg.inc(f"{label}.lookups_failed")
+            if span.timeouts:
+                reg.inc(f"{label}.timeouts", span.timeouts)
+            reg.observe(f"{label}.hops", span.n_hops)
+            reg.observe(f"{label}.latency_ms", span.latency_ms)
+            reg.inc(f"{label}.total_hops", span.n_hops)
+            for hop in span.hops:
+                reg.inc(f"{label}.hops.layer{hop.layer}")
+                if hop.layer >= 2:
+                    reg.inc(f"{label}.low_layer_hops")
+        for sink in self.sinks:
+            sink.emit(span)
+
+    def close(self) -> None:
+        """Close every attached sink (flushes file-backed ones)."""
+        for sink in self.sinks:
+            sink.close()
+
+    # ------------------------------------------------------------------
+    def low_layer_hop_share(self, label: str) -> float:
+        """Aggregate lower-ring hop share for one network label."""
+        total = self.registry.counter(f"{label}.total_hops").value
+        low = self.registry.counter(f"{label}.low_layer_hops").value
+        require(self.registry.enabled, "recorder has no live registry")
+        return low / total if total else 0.0

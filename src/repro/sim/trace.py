@@ -1,125 +1,24 @@
-"""Observability for the protocol stack: message tracing.
+"""Deprecated shim — message tracing moved to :mod:`repro.metrics.messages`.
 
-A :class:`MessageTracer` hooks a :class:`~repro.sim.network.SimNetwork`
-and records every message send as a structured event, with filtering
-and aggregation helpers.  Used by the cost experiments to attribute
-protocol traffic (how many messages did one HIERAS join cost?  how much
-of the steady-state traffic is lower-ring maintenance?) and by tests
-that assert on protocol behaviour rather than just end state.
+The tracer is now part of the unified observability subsystem
+(:mod:`repro.metrics`), where it can feed the same
+:class:`~repro.metrics.registry.MetricsRegistry` as routing spans and
+simulator counters.  Import :class:`MessageTracer` /
+:class:`TracedMessage` from ``repro.metrics`` (or
+``repro.metrics.messages``) instead; this module re-exports them
+unchanged and will be removed in a future release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+import warnings
 
-from repro.sim.network import Message, SimNetwork
-from repro.util.validation import require
+from repro.metrics.messages import MessageTracer, TracedMessage
 
 __all__ = ["TracedMessage", "MessageTracer"]
 
-
-@dataclass(frozen=True)
-class TracedMessage:
-    """One recorded message send."""
-
-    time_ms: float
-    src: int
-    dst: int
-    kind: str
-    delay_ms: float
-
-
-class MessageTracer:
-    """Records message sends on a network.
-
-    Wraps ``network.send`` (composition, not inheritance, so any
-    already-constructed network can be traced).  Tracing can be paused
-    and resumed to bracket a phase of interest::
-
-        tracer = MessageTracer(network)
-        tracer.start()
-        ...  # run joins
-        join_cost = tracer.count()
-        tracer.reset(); ...  # run lookups
-    """
-
-    def __init__(self, network: SimNetwork, *, max_events: int = 1_000_000) -> None:
-        require(max_events >= 1, "max_events must be >= 1")
-        self.network = network
-        self.max_events = max_events
-        self.events: list[TracedMessage] = []
-        self._active = False
-        self._original_send: Callable[[int, int, Message], None] = network.send
-
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Begin recording (idempotent)."""
-        if self._active:
-            return
-        self._active = True
-
-        def traced_send(src: int, dst: int, message: Message) -> None:
-            if len(self.events) < self.max_events:
-                delay = (
-                    0.0 if src == dst else float(self.network.latency.pair(src, dst))
-                )
-                self.events.append(
-                    TracedMessage(
-                        time_ms=self.network.sim.now,
-                        src=src,
-                        dst=dst,
-                        kind=message.kind,
-                        delay_ms=delay,
-                    )
-                )
-            self._original_send(src, dst, message)
-
-        self.network.send = traced_send  # type: ignore[method-assign]
-
-    def stop(self) -> None:
-        """Stop recording and restore the network's send."""
-        if not self._active:
-            return
-        self.network.send = self._original_send  # type: ignore[method-assign]
-        self._active = False
-
-    def reset(self) -> None:
-        """Clear recorded events (keeps recording if active)."""
-        self.events.clear()
-
-    def __enter__(self) -> "MessageTracer":
-        self.start()
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        self.stop()
-
-    # ------------------------------------------------------------------
-    def count(self, *, kind: str | None = None) -> int:
-        """Number of recorded sends (optionally of one kind)."""
-        if kind is None:
-            return len(self.events)
-        return sum(1 for e in self.events if e.kind == kind)
-
-    def by_kind(self) -> dict[str, int]:
-        """Message counts per kind."""
-        out: dict[str, int] = {}
-        for e in self.events:
-            out[e.kind] = out.get(e.kind, 0) + 1
-        return out
-
-    def by_peer(self) -> dict[int, int]:
-        """Messages *sent* per peer."""
-        out: dict[int, int] = {}
-        for e in self.events:
-            out[e.src] = out.get(e.src, 0) + 1
-        return out
-
-    def total_delay_ms(self, *, kind: str | None = None) -> float:
-        """Sum of link delays of recorded sends."""
-        return sum(e.delay_ms for e in self.events if kind is None or e.kind == kind)
-
-    def between(self, t0: float, t1: float) -> list[TracedMessage]:
-        """Events with ``t0 <= time < t1``."""
-        return [e for e in self.events if t0 <= e.time_ms < t1]
+warnings.warn(
+    "repro.sim.trace is deprecated; import MessageTracer from repro.metrics",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -217,7 +217,7 @@ class TestIterativeLookups:
 
     def test_iterative_origin_drives_traffic(self, converged):
         """In iterative mode every query originates at the source."""
-        from repro.sim.trace import MessageTracer
+        from repro.metrics.messages import MessageTracer
 
         space, ids, sim, net, nodes = converged
         with MessageTracer(net) as tracer:

@@ -1,0 +1,395 @@
+"""Tests for the unified observability subsystem (repro.metrics)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dht.base import ZeroLatency
+from repro.dht.chord_protocol import ChordProtocolNode
+from repro.metrics import (
+    NULL_REGISTRY,
+    Histogram,
+    HopRecord,
+    JsonlSink,
+    LookupSpan,
+    MemorySink,
+    MetricsRegistry,
+    NullRegistry,
+    SpanRecorder,
+    SummarySink,
+    read_jsonl,
+)
+from repro.sim.engine import Simulator
+from repro.sim.network import SimNetwork
+from repro.util.ids import IdSpace
+
+
+class TestCountersGauges:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.set_gauge("g", 2.5)
+        assert reg.counter("a").value == 5
+        assert reg.gauge("g").value == 2.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().inc("a", -1)
+
+    def test_create_on_use(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestHistogram:
+    def test_determinism_same_stream_same_dict(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(50.0, size=2000).tolist() + [0.0, 0.0, 1e-4, 9e6]
+        a, b = Histogram("h"), Histogram("h")
+        a.record_many(values)
+        b.record_many(values)
+        assert a.to_dict() == b.to_dict()
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+    def test_order_independence(self):
+        values = [1.0, 5.0, 25.0, 125.0, 0.0, 3.3]
+        a, b = Histogram(), Histogram()
+        a.record_many(values)
+        b.record_many(reversed(values))
+        assert a.to_dict() == b.to_dict()
+
+    def test_merge_associative_and_commutative(self):
+        rng = np.random.default_rng(9)
+        streams = [rng.exponential(s + 1, size=300) for s in range(3)]
+        hs = []
+        for stream in streams:
+            h = Histogram("m")
+            h.record_many(stream)
+            hs.append(h)
+        a, b, c = hs
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_dict() == right.to_dict()
+        assert a.merge(b).to_dict() == b.merge(a).to_dict()
+
+    def test_merge_equals_single_stream(self):
+        rng = np.random.default_rng(11)
+        values = rng.exponential(10.0, size=500)
+        whole = Histogram()
+        whole.record_many(values)
+        h1, h2 = Histogram(), Histogram()
+        h1.record_many(values[:200])
+        h2.record_many(values[200:])
+        merged, single = h1.merge(h2).to_dict(), whole.to_dict()
+        # Float totals differ in the last bits across summation orders;
+        # counts, buckets and extrema must be identical.
+        assert merged.pop("total") == pytest.approx(single.pop("total"))
+        assert merged == single
+
+    def test_merge_base_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(base=1.1).merge(Histogram(base=1.3))
+
+    def test_quantiles_clamped_and_monotone(self):
+        h = Histogram()
+        h.record_many([2.0, 4.0, 8.0, 16.0, 100.0])
+        qs = [h.quantile(q) for q in (0.0, 0.25, 0.5, 0.9, 1.0)]
+        assert qs == sorted(qs)
+        assert h.quantile(0.0) >= 2.0
+        assert h.quantile(1.0) <= 100.0
+
+    def test_mean_exact(self):
+        h = Histogram()
+        h.record_many([1.0, 2.0, 3.0])
+        assert h.mean == pytest.approx(2.0)
+
+    def test_zero_and_negative(self):
+        h = Histogram()
+        h.record(0.0)
+        assert h.zero_count == 1 and h.count == 1
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+
+    def test_serialization_round_trip(self):
+        h = Histogram(base=1.2)
+        h.record_many([0.0, 1.5, 77.0, 3200.0])
+        assert Histogram.from_dict(h.to_dict()).to_dict() == h.to_dict()
+
+    def test_empty_round_trip(self):
+        h = Histogram()
+        d = h.to_dict()
+        assert d["min"] is None and d["max"] is None
+        assert Histogram.from_dict(d).to_dict() == d
+
+
+def _make_span(network="hieras"):
+    return LookupSpan(
+        network=network,
+        source=3,
+        key=1234,
+        owner=9,
+        hops=[
+            HopRecord(index=0, src=3, dst=5, layer=2, ring="0121", latency_ms=4.0),
+            HopRecord(index=1, src=5, dst=7, layer=2, ring="0121", latency_ms=6.5),
+            HopRecord(index=2, src=7, dst=9, layer=1, ring="global", latency_ms=80.0),
+        ],
+    )
+
+
+class TestSpans:
+    def test_derived_properties(self):
+        span = _make_span()
+        assert span.n_hops == 3
+        assert span.latency_ms == pytest.approx(90.5)
+        assert span.layers == [2, 2, 1]
+        assert span.low_layer_hops == 2
+        assert span.low_layer_hop_share == pytest.approx(2 / 3)
+
+    def test_dict_round_trip(self):
+        span = _make_span()
+        assert LookupSpan.from_dict(span.to_dict()).to_dict() == span.to_dict()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "lookups.spans.jsonl"
+        sink = JsonlSink(path)
+        recorder = SpanRecorder(registry=MetricsRegistry(), sinks=[sink])
+        spans = [_make_span(), _make_span("chord")]
+        for s in spans:
+            recorder.record(s)
+        recorder.close()
+        loaded = read_jsonl(path)
+        assert [s.to_dict() for s in loaded] == [s.to_dict() for s in spans]
+
+    def test_jsonl_lazy_open(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        JsonlSink(path).close()
+        assert not path.exists()
+
+    def test_recorder_registry_names(self):
+        reg = MetricsRegistry()
+        rec = SpanRecorder(registry=reg)
+        rec.record(_make_span())
+        assert reg.counter("hieras.lookups").value == 1
+        assert reg.counter("hieras.total_hops").value == 3
+        assert reg.counter("hieras.hops.layer2").value == 2
+        assert reg.counter("hieras.hops.layer1").value == 1
+        assert reg.counter("hieras.low_layer_hops").value == 2
+        assert reg.histogram("hieras.latency_ms").count == 1
+        assert rec.low_layer_hop_share("hieras") == pytest.approx(2 / 3)
+
+    def test_summary_sink(self):
+        sink = SummarySink()
+        rec = SpanRecorder(registry=MetricsRegistry(), sinks=[sink])
+        rec.record(_make_span())
+        rec.record(_make_span())
+        summary = sink.summary("hieras")
+        assert summary["lookups"] == 2
+        assert summary["hops_by_layer"] == {"1": 2, "2": 4}
+        assert summary["low_layer_hop_share"] == pytest.approx(2 / 3)
+        assert summary["hops"]["count"] == 2.0
+
+    def test_memory_sink(self):
+        sink = MemorySink()
+        SpanRecorder(sinks=[sink]).record(_make_span())
+        assert len(sink) == 1
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        null = NullRegistry()
+        assert null.enabled is False
+        null.inc("a", 5)
+        null.observe("h", 1.0)
+        null.set_gauge("g", 2.0)
+        assert null.counter("a").value == 0
+        assert null.histogram("h").count == 0
+        assert null.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "timers": {},
+        }
+
+    def test_recorder_defaults_to_null(self):
+        rec = SpanRecorder()
+        assert rec.registry is NULL_REGISTRY
+        rec.record(_make_span())  # must not raise, must not accumulate
+        assert NULL_REGISTRY.counter("hieras.lookups").value == 0
+
+
+class TestNetworkInstrumentationOffByDefault:
+    """The structural no-overhead contract: metrics is None by default."""
+
+    def test_stacks_default_off(self, small_networks):
+        chord, hieras = small_networks
+        assert chord.metrics is None
+        assert hieras.metrics is None
+
+    def test_sim_defaults_off(self):
+        sim = Simulator()
+        net = SimNetwork(sim, ZeroLatency())
+        assert sim.metrics is None
+        assert net.metrics is None
+
+    def test_route_emits_nothing_when_off(self, small_networks):
+        chord, hieras = small_networks
+        sink = MemorySink()
+        # A recorder exists but is never attached — routing must not see it.
+        SpanRecorder(sinks=[sink])
+        chord.route(0, 12345)
+        hieras.route(0, 12345)
+        assert len(sink) == 0
+
+    def test_enable_disable_round_trip(self, small_networks):
+        chord, _ = small_networks
+        sink = MemorySink()
+        rec = SpanRecorder(registry=MetricsRegistry(), sinks=[sink])
+        assert chord.enable_tracing(rec) is rec
+        chord.route(1, 999)
+        chord.disable_tracing()
+        chord.route(2, 999)
+        assert chord.metrics is None
+        assert len(sink) == 1 and sink.spans[0].network == "chord"
+
+
+def _build_protocol_pair():
+    space = IdSpace(12)
+    sim = Simulator()
+    net = SimNetwork(sim, ZeroLatency(), loss_seed=5)
+    a = ChordProtocolNode(0, 100, space, sim, net)
+    b = ChordProtocolNode(1, 2000, space, sim, net)
+    return sim, net, a, b
+
+
+class TestSimCounters:
+    def test_counters_match_network_stats(self):
+        sim, net, a, b = _build_protocol_pair()
+        reg = MetricsRegistry()
+        net.attach_metrics(reg)
+        sim.attach_metrics(reg)
+        a.send(1, "ping", x=1)
+        a.send(1, "ping", x=2)
+        b.send(0, "pong")
+        net.loss_rate = 0.999999  # next cross-link send is (almost surely) lost
+        a.send(1, "doomed")
+        net.loss_rate = 0.0
+        b.alive = False
+        a.send(1, "to_dead")
+        sim.run()
+        stats = net.stats()
+        assert reg.counter("sim.messages_sent").value == stats["messages_sent"]
+        assert reg.counter("sim.messages_lost").value == stats["messages_lost"]
+        assert reg.counter("sim.messages_dropped").value == stats["messages_dropped"]
+        by_kind = {
+            name.split("sim.sent.", 1)[1]: c.value
+            for name, c in reg.counters.items()
+            if name.startswith("sim.sent.")
+        }
+        assert by_kind == stats["sent_by_kind"]
+        assert reg.histogram("sim.link_delay_ms").total == pytest.approx(
+            stats["total_delay_ms"]
+        )
+        assert reg.counter("sim.events_processed").value == sim.events_processed
+        assert reg.gauge("sim.clock_ms").value == sim.now
+
+    def test_protocol_lookup_counters(self):
+        space = IdSpace(12)
+        rng = np.random.default_rng(0)
+        ids = space.sample_unique_ids(8, rng)
+        sim = Simulator()
+        net = SimNetwork(sim, ZeroLatency())
+        reg = net.attach_metrics(MetricsRegistry())
+        from repro.dht.chord_protocol import GLOBAL_RING
+
+        nodes = [ChordProtocolNode(p, int(ids[p]), space, sim, net) for p in range(8)]
+        nodes[0].create_ring(GLOBAL_RING)
+        for p in range(1, 8):
+            sim.schedule_at(p * 200.0, nodes[p].join_ring, GLOBAL_RING, 0)
+        sim.run(until=20_000, max_events=2_000_000)
+        done = []
+        for k in (5, 600, 2100, 4000):
+            nodes[2].lookup(k, done.append)
+        sim.run(until=sim.now + 10_000, max_events=2_000_000)
+        assert len(done) == 4
+        assert reg.counter("protocol.lookups").value == 4
+        assert reg.counter("protocol.lookups_completed").value == 4
+        assert reg.histogram("protocol.lookup_hops").count == 4
+
+
+class TestRegistryMergeAndSnapshot:
+    def test_merge_folds_everything(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        b.inc("only_b")
+        a.observe("h", 1.0)
+        b.observe("h", 10.0)
+        b.set_gauge("g", 7.0)
+        a.merge(b)
+        assert a.counter("c").value == 5
+        assert a.counter("only_b").value == 1
+        assert a.histogram("h").count == 2
+        assert a.gauge("g").value == 7.0
+
+    def test_snapshot_stable_and_json_safe(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        reg.observe("h", 3.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        json.dumps(snap)  # must not raise
+
+
+class TestHierasSpanLayers:
+    """Acceptance: per-hop ring layers with a majority in lower rings."""
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        from repro.experiments.config import SimConfig
+        from repro.experiments.runner import build_bundle, make_trace
+
+        bundle = build_bundle(SimConfig(n_peers=1000, seed=42))
+        sink = MemorySink()
+        rec = SpanRecorder(registry=MetricsRegistry(), sinks=[sink])
+        bundle.hieras.enable_tracing(rec)
+        try:
+            for source, key in make_trace(bundle, 3000):
+                bundle.hieras.route(int(source), int(key))
+        finally:
+            bundle.hieras.disable_tracing()
+        return bundle, rec, sink
+
+    def test_spans_annotate_every_hop(self, traced):
+        bundle, rec, sink = traced
+        span = max(sink.spans, key=lambda s: s.n_hops)
+        assert span.n_hops == len(span.layers)
+        for hop in span.hops:
+            assert 1 <= hop.layer <= bundle.hieras.depth
+            if hop.layer == 1:
+                assert hop.ring == "global"
+            else:
+                assert hop.ring == bundle.hieras.ring_name_of(hop.src, hop.layer)
+        # Bottom-up routing: layer numbers never increase along the path.
+        assert span.layers == sorted(span.layers, reverse=True)
+
+    def test_span_matches_route_result(self, traced):
+        bundle, rec, sink = traced
+        span = sink.spans[0]
+        result = bundle.hieras.route(span.source, span.key)
+        assert [h.dst for h in span.hops] == result.path[1:]
+        assert span.latency_ms == pytest.approx(result.latency_ms)
+        assert span.low_layer_hops == result.low_layer_hops
+
+    def test_majority_of_hops_in_lower_rings(self, traced):
+        _, rec, sink = traced
+        share = rec.low_layer_hop_share("hieras")
+        assert share > 0.5
+        per_span = [s.low_layer_hops for s in sink.spans]
+        total = sum(s.n_hops for s in sink.spans)
+        assert sum(per_span) / total == pytest.approx(share)

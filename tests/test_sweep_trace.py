@@ -10,7 +10,7 @@ from repro.dht.chord_protocol import GLOBAL_RING, ChordProtocolNode
 from repro.experiments.sweep import SweepSpec, run_sweep, write_csv
 from repro.sim.engine import Simulator
 from repro.sim.network import SimNetwork
-from repro.sim.trace import MessageTracer
+from repro.metrics.messages import MessageTracer
 from repro.util.ids import IdSpace
 
 
@@ -143,3 +143,33 @@ class TestMessageTracer:
         assert join_msgs > 0
         # One join costs far less than the whole network's history.
         assert join_msgs < net.messages_sent / 4
+
+    def test_tracer_feeds_registry(self):
+        """Optional registry kwarg mirrors traffic into named metrics."""
+        from repro.metrics import MetricsRegistry
+
+        sim, net, a, b = build_pair()
+        reg = MetricsRegistry()
+        with MessageTracer(net, registry=reg) as tracer:
+            a.send(1, "x")
+            a.send(1, "x")
+            b.send(0, "y")
+            sim.run()
+        assert tracer.count() == 3
+        assert reg.counter("trace.messages").value == 3
+        assert reg.counter("trace.sent.x").value == 2
+        assert reg.counter("trace.sent.y").value == 1
+        assert reg.histogram("trace.delay_ms").count == 3
+
+    def test_deprecated_shim_still_works(self):
+        """repro.sim.trace warns but re-exports the moved tracer."""
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.sim.trace", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.sim.trace")
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert shim.MessageTracer is MessageTracer
