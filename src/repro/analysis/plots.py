@@ -12,7 +12,7 @@ shape.  These renderers draw the shapes directly in monospace text:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -7,7 +7,8 @@ diff-friendly (EXPERIMENTS.md embeds them verbatim).
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.util.validation import require
 

@@ -30,6 +30,7 @@ from repro.dht.base import DHTNetwork, RouteResult, ZeroLatency
 from repro.dht.ring_array import FingerEntry, SortedRing
 from repro.topology.base import LatencyModel
 from repro.util.ids import IdSpace
+from repro.util.rng import make_rng
 from repro.util.validation import require
 
 __all__ = ["HierasNetwork", "LayeredFingerRow"]
@@ -450,7 +451,7 @@ class HierasNetwork(DHTNetwork):
         tables the node hosts.  ``sample`` bounds the number of nodes
         whose finger tables are materialised (None = all).
         """
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         peers = self.global_ring.peers
         if sample is not None and sample < len(peers):
             peers = rng.choice(peers, size=sample, replace=False)
@@ -474,7 +475,7 @@ class HierasNetwork(DHTNetwork):
             "avg_distinct_fingers_total": float(sum(finger_entries.values())),
             **{
                 f"avg_distinct_fingers_layer{layer}": v
-                for layer, v in finger_entries.items()
+                for layer, v in sorted(finger_entries.items())
             },
             "successor_list_entries": float(succ_entries),
             "avg_ring_tables_hosted": float(

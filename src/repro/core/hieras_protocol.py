@@ -29,7 +29,7 @@ destination check between loops.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.ring import ring_id
 from repro.dht.chord_protocol import (

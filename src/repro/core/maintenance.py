@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hieras import HierasNetwork
+from repro.util.rng import make_rng
 from repro.util.validation import require
 
 __all__ = [
@@ -131,7 +132,7 @@ def maintenance_traffic_cost(
     successors are topologically close; the returned dict reports the
     mean per-ping delay per layer so the claim is directly checkable.
     """
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     peers = network.global_ring.peers
     if sample < len(peers):
         peers = rng.choice(peers, size=sample, replace=False)

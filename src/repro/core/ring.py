@@ -182,7 +182,7 @@ class RingTableDirectory:
         pos = int(np.flatnonzero(global_peers == primary)[0])
         n = len(global_ids)
         count = min(self.replicas, n - 1)
-        return [primary] + [int(global_peers[(pos + k) % n]) for k in range(1, count + 1)]
+        return [primary, *(int(global_peers[(pos + k) % n]) for k in range(1, count + 1))]
 
     def live_host_of(
         self,

@@ -154,8 +154,8 @@ class DHTNetwork(ABC):
             layers = [1] * n
         if rings is None:
             rings = ["global"] * n
-        latency = getattr(self, "latency", None)
-        hops = []
+        latency: LatencyModel | None = getattr(self, "latency", None)
+        hops: list[HopRecord] = []
         for i in range(n):
             u, v = result.path[i], result.path[i + 1]
             delay = float(latency.pair(u, v)) if latency is not None else 0.0
@@ -165,7 +165,7 @@ class DHTNetwork(ABC):
                     latency_ms=delay,
                 )
             )
-        self.metrics.record(
+        self.metrics.record(  # lint: allow-metrics-guard -- documented contract: callers check `self.metrics is not None` before record_route
             LookupSpan(
                 network=label,
                 source=result.source,

@@ -23,7 +23,7 @@ membership.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.sim.engine import Simulator
 from repro.sim.network import Message, SimNetwork
@@ -412,7 +412,7 @@ class ChordProtocolNode(SimNode):
         assert succ is not None
         # Adopt successor's list, shifted by the successor itself.
         remote_list = [tuple(e) for e in msg.payload.get("succ_list", [])]
-        merged = [succ] + [e for e in remote_list if e[0] != self.peer]
+        merged = [succ, *(e for e in remote_list if e[0] != self.peer)]
         state.successor_list = list(dict.fromkeys(merged))[: self.config.successor_list_len]
         self.send(succ[0], "notify", ring=ring, cand_peer=self.peer, cand_id=self.node_id)
 

@@ -148,7 +148,9 @@ class DHTStore:
         for held in self._stored.values():
             still_held.update(held)
         desired: dict[int, dict[int, Any]] = {}
-        for key, value in self._catalog.items():
+        # Sorted walk: per-peer store dicts are rebuilt in key order, so
+        # the post-repair layout is canonical for a given membership.
+        for key, value in sorted(self._catalog.items()):
             if key in self._lost:
                 continue
             if key not in still_held:

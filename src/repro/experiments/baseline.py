@@ -124,12 +124,12 @@ def run_perf_baseline(
     def timed(name: str):
         class _Phase:
             def __enter__(self_inner):
-                self_inner.t0 = time.perf_counter()
+                self_inner.t0 = time.perf_counter()  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
                 return self_inner
 
             def __exit__(self_inner, *exc):
                 phases[name] = {
-                    "wall_ms": (time.perf_counter() - self_inner.t0) * 1000.0
+                    "wall_ms": (time.perf_counter() - self_inner.t0) * 1000.0  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
                 }
                 return False
 

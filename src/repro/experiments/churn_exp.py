@@ -16,6 +16,7 @@ from repro.dht.base import ZeroLatency
 from repro.sim.engine import Simulator
 from repro.sim.network import SimNetwork
 from repro.util.ids import IdSpace
+from repro.util.rng import make_rng
 from repro.workloads.churn import generate_churn
 
 __all__ = ["run_churn_simulation"]
@@ -42,7 +43,7 @@ def run_churn_simulation(
     ``loss_rate`` injects loss.
     """
     space = IdSpace(16)
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     ids = space.sample_unique_ids(universe, rng)
     names = [[str(p % n_rings)] for p in range(universe)]
     sim = Simulator()

@@ -15,7 +15,7 @@ sweeps produce identical rows (a test asserts this).
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Callable
+from collections.abc import Callable
 
 from repro.experiments.sweep import SweepSpec, _evaluate
 from repro.util.validation import require

@@ -18,7 +18,7 @@ import csv
 import itertools
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.analysis.stats import collect_routes, ratio_percent
 from repro.experiments.config import SimConfig

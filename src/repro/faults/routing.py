@@ -19,7 +19,7 @@ of the key); ``to_owner=False`` is a lower layer's predecessor loop
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Callable
+from collections.abc import Callable
 
 from repro.dht.ring_array import SortedRing
 

@@ -1,0 +1,51 @@
+"""``reprolint``: AST-based determinism & simulation-safety analysis.
+
+The repository's reproducibility contract (DESIGN.md §8) is a set of
+*conventions* — all randomness flows through
+:func:`repro.util.rng.make_rng`, no wall-clock reaches the simulation
+core, iteration order never leaks from an unordered container into an
+artifact, metrics stay off the hot path unless attached, and modular
+interval tests go through :mod:`repro.util.intervals`.  Conventions rot;
+this package checks them mechanically::
+
+    python -m repro.lint src tests
+
+Rule catalog
+------------
+
+========  ==============  ====================================================
+Rule      Pragma alias    What it bans
+========  ==============  ====================================================
+DET001    rng             direct RNG construction/seeding outside
+                          ``repro/util/rng.py`` (tests may seed explicitly)
+DET002    wallclock       wall-clock reads inside ``sim``/``core``/``dht``/
+                          ``faults``/``experiments``
+DET003    unsorted        unordered ``set``/``dict`` iteration whose order can
+                          reach a return value, artifact, or RNG choice
+MET001    metrics-guard   registry/span calls on ``dht``/``sim`` hot paths not
+                          behind an ``is None``/truthiness guard
+INT001    interval        raw chained modular comparisons in ``core``/``dht``
+                          that bypass ``repro.util.intervals``
+LNT100    —               suppression pragma without a reason (the pragma is
+                          ignored until a reason is given)
+========  ==============  ====================================================
+
+Findings are suppressed inline with a *reasoned* pragma on any physical
+line of the offending statement::
+
+    t0 = time.perf_counter()  # lint: allow-wallclock -- phase timing, reported under the nondeterministic "phases" key
+
+The CLI exits nonzero on any unsuppressed finding, so CI can gate on it.
+"""
+
+from repro.lint.engine import Checker, Finding, LintContext, lint_paths, lint_source
+from repro.lint.checkers import ALL_CHECKERS
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintContext",
+    "lint_paths",
+    "lint_source",
+    "ALL_CHECKERS",
+]

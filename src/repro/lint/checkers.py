@@ -1,0 +1,26 @@
+"""The registry of active ``reprolint`` checkers.
+
+Adding a rule is three steps (DESIGN.md §8): subclass
+:class:`~repro.lint.engine.Checker` in a topical module, give it a
+unique ``rule`` id and pragma ``alias``, and append an instance here.
+"""
+
+from __future__ import annotations
+
+from repro.lint.contracts import IntervalChecker, MetricsGuardChecker
+from repro.lint.determinism import (
+    RngChecker,
+    UnsortedIterationChecker,
+    WallClockChecker,
+)
+from repro.lint.engine import Checker
+
+__all__ = ["ALL_CHECKERS"]
+
+ALL_CHECKERS: tuple[Checker, ...] = (
+    RngChecker(),
+    WallClockChecker(),
+    UnsortedIterationChecker(),
+    MetricsGuardChecker(),
+    IntervalChecker(),
+)

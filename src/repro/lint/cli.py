@@ -1,0 +1,64 @@
+"""``reprolint`` command line: ``python -m repro.lint <paths...>``.
+
+Exit codes: 0 — clean (every finding suppressed with a reasoned
+pragma); 1 — unsuppressed findings; 2 — usage error (unknown rule id,
+missing path, or no python files under the given paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.lint.checkers import ALL_CHECKERS
+from repro.lint.engine import iter_python_files, lint_source
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & simulation-safety analyzer "
+        "for the HIERAS reproduction (rule catalog: DESIGN.md §8).",
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="files or directories to lint (e.g. `src tests`)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the per-file progress summary line",
+    )
+    args = parser.parse_args(argv)
+
+    checkers = ALL_CHECKERS
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        checkers = tuple(c for c in ALL_CHECKERS if c.rule in wanted)
+        unknown = wanted - {c.rule for c in ALL_CHECKERS}
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {' '.join(missing)}")
+    files = list(iter_python_files(args.paths))
+    if not files:
+        parser.error(f"no python files under: {' '.join(args.paths)}")
+
+    findings = []
+    for file in files:
+        findings.extend(
+            lint_source(file, Path(file).read_text(encoding="utf-8"), checkers)
+        )
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        status = f"{len(findings)} finding(s)" if findings else "clean"
+        print(f"reprolint: {len(files)} file(s), {status}")
+    return 1 if findings else 0

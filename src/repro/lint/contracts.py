@@ -1,0 +1,180 @@
+"""Contract checkers: MET001 (metrics guards) and INT001 (interval math).
+
+MET001 keeps observability off the hot path: DESIGN.md §7 promises that
+an uninstrumented lookup pays exactly one ``is None`` check, which only
+holds if every registry/span call in ``repro.dht``/``repro.sim`` sits
+behind a guard on its receiver.
+
+INT001 keeps modular arithmetic out of inline comparisons: a chained
+``a < x <= b`` on ring identifiers is wrong whenever the arc wraps zero,
+which is why :mod:`repro.util.intervals` exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import Checker, Finding, LintContext, dotted_name
+
+__all__ = ["MetricsGuardChecker", "IntervalChecker"]
+
+
+class MetricsGuardChecker(Checker):
+    """MET001: metrics calls on hot paths must be guarded.
+
+    A *metrics receiver* is any ``<expr>.metrics`` attribute, or a local
+    alias assigned from one (``m = self.metrics``).  Every method call
+    on such a receiver must be dominated by a guard that mentions it:
+
+    * an enclosing ``if``/``while``/ternary whose test references the
+      receiver (``if self.metrics is not None:``, ``if m:``), or
+    * an earlier early-exit guard in the same function
+      (``if self.metrics is None: return``).
+
+    Plain loads/assignments (``self.metrics = recorder``) are exempt —
+    only calls do per-lookup work.
+    """
+
+    rule = "MET001"
+    alias = "metrics-guard"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro.dht", "repro.sim")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_metrics_attr(node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "metrics"
+
+    def _aliases(self, func: ast.AST) -> set[str]:
+        """Local names bound from a ``*.metrics`` attribute."""
+        out: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._is_metrics_attr(node.value):
+                    out.add(target.id)
+        return out
+
+    def _mentions(self, test: ast.AST, receiver_key: str) -> bool:
+        for node in ast.walk(test):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                if dotted_name(node) == receiver_key:
+                    return True
+        return False
+
+    def _guarded(self, ctx: LintContext, call: ast.Call, receiver_key: str) -> bool:
+        # Enclosing conditional that mentions the receiver.
+        child: ast.AST = call
+        for ancestor in ctx.ancestors(call):
+            if isinstance(ancestor, (ast.If, ast.While, ast.IfExp)):
+                if self._mentions(ancestor.test, receiver_key):
+                    return True
+            if isinstance(ancestor, ast.BoolOp) and child in ancestor.values:
+                # ``m is not None and m.inc(...)``: guards are the
+                # operands short-circuiting *before* the call's branch.
+                idx = ancestor.values.index(child)
+                if any(self._mentions(v, receiver_key) for v in ancestor.values[:idx]):
+                    return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Earlier early-exit guard: ``if <recv> is None: return``.
+                for node in ast.walk(ancestor):
+                    if (
+                        isinstance(node, ast.If)
+                        and node.lineno < call.lineno
+                        and self._mentions(node.test, receiver_key)
+                        and any(
+                            isinstance(s, (ast.Return, ast.Raise, ast.Continue))
+                            for s in node.body
+                        )
+                    ):
+                        return True
+                return False
+            child = ancestor
+        return False
+
+    # ------------------------------------------------------------------
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        funcs = [
+            n for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        alias_by_func = {id(f): self._aliases(f) for f in funcs}
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            receiver = node.func.value
+            receiver_key: str | None = None
+            if self._is_metrics_attr(receiver):
+                receiver_key = dotted_name(receiver)
+            elif isinstance(receiver, ast.Name):
+                enclosing = next(
+                    (
+                        a for a in ctx.ancestors(node)
+                        if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    ),
+                    None,
+                )
+                if enclosing is not None and receiver.id in alias_by_func.get(
+                    id(enclosing), set()
+                ):
+                    receiver_key = receiver.id
+            if receiver_key is None:
+                continue
+            if not self._guarded(ctx, node, receiver_key):
+                yield ctx.finding(
+                    node, self.rule,
+                    f"metrics call on `{receiver_key}` without an "
+                    f"`if {receiver_key} ...` guard (hot-path contract, DESIGN.md §7)",
+                )
+
+
+_CHAIN_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _innocent_endpoint(node: ast.AST) -> bool:
+    """Endpoints that mark a plain range check, not ring arithmetic."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return True
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+    ):
+        return True
+    if isinstance(node, ast.Call) and dotted_name(node.func) == "len":
+        return True
+    return False
+
+
+class IntervalChecker(Checker):
+    """INT001: use ``repro.util.intervals`` for arcs on the ring.
+
+    Flags chained relational comparisons (``a < x <= b``) between three
+    non-constant operands inside ``repro.core``/``repro.dht``.  Bounds
+    checks against literals or ``len(...)`` (``0 <= i < len(xs)``) stay
+    silent — those are index math, not ring arcs.
+    """
+
+    rule = "INT001"
+    alias = "interval"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro.core", "repro.dht")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare) or len(node.ops) < 2:
+                continue
+            if not all(isinstance(op, _CHAIN_OPS) for op in node.ops):
+                continue
+            endpoints = [node.left, *node.comparators]
+            if any(_innocent_endpoint(e) for e in endpoints):
+                continue
+            yield ctx.finding(
+                node, self.rule,
+                "raw chained comparison on ring values ignores wrap-around; "
+                "use in_interval/in_interval_open/in_interval_closed "
+                "from repro.util.intervals",
+            )

@@ -1,0 +1,390 @@
+"""Determinism checkers: DET001 (rng), DET002 (wallclock), DET003 (unsorted).
+
+These enforce the reproducibility contract of DESIGN.md §8: a run is a
+pure function of its seed, so nothing in the simulation core may draw
+entropy from the OS, read the wall clock, or let an unordered
+container's iteration order reach a result.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import Checker, Finding, LintContext, dotted_name
+
+__all__ = ["RngChecker", "WallClockChecker", "UnsortedIterationChecker"]
+
+
+class RngChecker(Checker):
+    """DET001: all randomness flows through ``repro.util.rng``.
+
+    In library code (``repro.*`` outside ``repro/util/rng.py``) any
+    direct RNG construction or global seeding is banned — components
+    take a ``Generator`` (or an int passed to ``make_rng``) so sibling
+    streams stay independent.  Tests may construct *seeded* generators
+    for fixture data, but unseeded construction, global seeding, and the
+    stdlib ``random`` module are banned everywhere.
+    """
+
+    rule = "DET001"
+    alias = "rng"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return (ctx.in_package("repro") and ctx.module != "repro.util.rng") or ctx.in_tests
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        strict = not ctx.in_tests
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.name == "random" or name.name.startswith("random."):
+                        yield ctx.finding(
+                            node, self.rule,
+                            "stdlib `random` is banned; use repro.util.rng.make_rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield ctx.finding(
+                        node, self.rule,
+                        "stdlib `random` is banned; use repro.util.rng.make_rng",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                if dotted in ("np.random.seed", "numpy.random.seed"):
+                    yield ctx.finding(
+                        node, self.rule,
+                        "global `np.random.seed` is banned; seed a Generator via make_rng",
+                    )
+                elif dotted in ("np.random.default_rng", "numpy.random.default_rng"):
+                    if strict:
+                        yield ctx.finding(
+                            node, self.rule,
+                            "direct `np.random.default_rng` outside repro/util/rng.py; "
+                            "use make_rng/spawn_rngs",
+                        )
+                    elif not node.args and not node.keywords:
+                        yield ctx.finding(
+                            node, self.rule,
+                            "unseeded `np.random.default_rng()` draws OS entropy; "
+                            "pass an explicit seed",
+                        )
+                elif strict and dotted.startswith(("np.random.", "numpy.random.")):
+                    # Legacy global-state API (np.random.rand & friends).
+                    yield ctx.finding(
+                        node, self.rule,
+                        f"legacy global-state `{dotted}` is banned; use make_rng",
+                    )
+
+
+#: Call chains that read the wall clock (monotonic counters included —
+#: their *values* are nondeterministic even if their ordering is not).
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+        "date.today",
+    }
+)
+
+
+class WallClockChecker(Checker):
+    """DET002: no wall-clock reads inside the deterministic stacks.
+
+    Simulated time is :attr:`Simulator.now`; real time inside
+    ``repro.sim``/``core``/``dht``/``faults`` would leak host speed into
+    results.  ``repro.experiments`` is also scanned — its phase timing
+    is legitimate but must carry an ``allow-wallclock`` pragma so each
+    site documents that its output lands in a nondeterministic artifact
+    section.
+    """
+
+    rule = "DET002"
+    alias = "wallclock"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package(
+            "repro.sim", "repro.core", "repro.dht", "repro.faults", "repro.experiments"
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in _WALLCLOCK_CALLS:
+                    yield ctx.finding(
+                        node, self.rule,
+                        f"wall-clock read `{dotted}` in deterministic module; "
+                        "use simulated time (or pragma phase timing)",
+                    )
+
+
+_ORDER_INSENSITIVE_SINKS = frozenset(
+    {
+        "sorted", "sum", "min", "max", "len", "any", "all",
+        "set", "frozenset", "dict", "Counter", "collections.Counter",
+    }
+)
+_MATERIALIZERS = frozenset(
+    {"list", "tuple", "np.fromiter", "numpy.fromiter", "np.asarray",
+     "numpy.asarray", "np.array", "numpy.array"}
+)
+_RNG_CONSUMERS = frozenset({"choice", "shuffle", "permutation"})
+_SERIALIZERS = frozenset({"json.dump", "json.dumps"})
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("items", "keys", "values")
+        and not node.args
+        and not node.keywords
+    )
+
+
+class UnsortedIterationChecker(Checker):
+    """DET003: unordered iteration must not reach results or artifacts.
+
+    Within each function it tracks locals that are definitely sets
+    (assigned from a set literal/constructor/comprehension or annotated
+    ``set[...]``) and flags three shapes:
+
+    1. **Materialization**: ``list``/``tuple``/``np.fromiter``/
+       ``np.asarray`` over a set expression — capturing a set's
+       (hash-dependent) order into a sequence.
+    2. **Order-sensitive loops**: ``for`` over a set or ``dict`` view
+       whose body returns/yields, appends/extends to a name the
+       function returns, or subscript-stores into a local that escapes
+       (is returned or assigned onto ``self``).
+    3. **Order-sensitive comprehensions**: list/generator/dict
+       comprehensions over a set or ``dict`` view that sit inside a
+       ``return``/``yield`` value or feed ``json.dump(s)`` or an RNG
+       ``choice``/``shuffle``/``permutation``.
+
+    Wrapping the iterable in ``sorted(...)`` — or consuming it with an
+    order-insensitive reducer (``sum``/``min``/``set``/...) — silences
+    the rule.  Pure accumulation loops (``total += v``) and membership
+    scans never trigger it.
+    """
+
+    rule = "DET003"
+    alias = "unsorted"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package(
+            "repro.sim", "repro.core", "repro.dht", "repro.faults",
+            "repro.topology", "repro.metrics", "repro.util",
+        )
+
+    # -- set-typed local tracking --------------------------------------
+    @staticmethod
+    def _is_set_expr(node: ast.AST, set_locals: set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name) and node.id in set_locals:
+            return True
+        return False
+
+    @staticmethod
+    def _annotation_is_set(annotation: ast.AST) -> bool:
+        base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        name = dotted_name(base)
+        return name in ("set", "frozenset", "Set", "FrozenSet", "typing.Set")
+
+    def _collect_set_locals(self, func: ast.AST) -> set[str]:
+        out: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._is_set_expr(node.value, out):
+                    out.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and self._annotation_is_set(node.annotation):
+                    out.add(node.target.id)
+        return out
+
+    @staticmethod
+    def _returned_names(func: ast.AST) -> set[str]:
+        """Names that the function returns or yields (directly)."""
+        out: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name):
+                        out.add(sub.id)
+        return out
+
+    @staticmethod
+    def _escaping_locals(func: ast.AST, returned: set[str]) -> set[str]:
+        """Locals whose contents outlive the call (returned or stored on self)."""
+        out = set(returned)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and isinstance(node.value, ast.Name):
+                        out.add(node.value.id)
+        return out
+
+    # -- trigger classification ----------------------------------------
+    def _unsorted_iterable(self, node: ast.AST, set_locals: set[str]) -> str | None:
+        """Classify ``node``: 'set', 'view', or None (ordered/unknown)."""
+        if self._is_set_expr(node, set_locals):
+            return "set"
+        if _is_dict_view(node):
+            return "view"
+        return None
+
+    def _check_function(self, ctx: LintContext, func: ast.AST) -> Iterator[Finding]:
+        set_locals = self._collect_set_locals(func)
+        returned = self._returned_names(func)
+        escaping = self._escaping_locals(func, returned)
+
+        for node in ast.walk(func):
+            # Don't descend into nested defs: ast.walk does, but nested
+            # functions get their own pass from check(); skipping here
+            # avoids duplicate findings with the wrong local tables.
+            if node is not func and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                yield from self._check_materialization(ctx, node, set_locals)
+            elif isinstance(node, ast.For):
+                yield from self._check_for(ctx, node, set_locals, returned, escaping)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                yield from self._check_comprehension(ctx, node, set_locals)
+
+    def _check_materialization(
+        self, ctx: LintContext, node: ast.Call, set_locals: set[str]
+    ) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        if dotted not in _MATERIALIZERS or not node.args:
+            return
+        if self._unsorted_iterable(node.args[0], set_locals) == "set":
+            yield ctx.finding(
+                node, self.rule,
+                f"`{dotted}(...)` captures a set's arbitrary order into a "
+                "sequence; wrap the set in sorted(...)",
+            )
+
+    def _check_for(
+        self,
+        ctx: LintContext,
+        node: ast.For,
+        set_locals: set[str],
+        returned: set[str],
+        escaping: set[str],
+    ) -> Iterator[Finding]:
+        kind = self._unsorted_iterable(node.iter, set_locals)
+        if kind is None:
+            return
+        reason = self._order_sensitive_body(node, returned, escaping)
+        if reason is not None:
+            what = "a set" if kind == "set" else "an unsorted dict view"
+            yield ctx.finding(
+                node.iter, self.rule,
+                f"iteration over {what} {reason}; wrap the iterable in sorted(...)",
+            )
+
+    @staticmethod
+    def _order_sensitive_body(
+        loop: ast.For, returned: set[str], escaping: set[str]
+    ) -> str | None:
+        for node in ast.walk(loop):
+            if node is loop:
+                continue
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return "returns/yields from the loop body"
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = node.func.value
+                if (
+                    node.func.attr in ("append", "extend")
+                    and isinstance(receiver, ast.Name)
+                    and receiver.id in returned
+                ):
+                    return f"appends to returned `{receiver.id}`"
+                if (
+                    node.func.attr == "setdefault"
+                    and isinstance(receiver, ast.Name)
+                    and receiver.id in escaping
+                ):
+                    return f"inserts into escaping `{receiver.id}` in iteration order"
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in escaping
+                    ):
+                        return (
+                            f"inserts into escaping `{target.value.id}` in iteration order"
+                        )
+        return None
+
+    def _check_comprehension(
+        self,
+        ctx: LintContext,
+        node: ast.ListComp | ast.GeneratorExp | ast.DictComp,
+        set_locals: set[str],
+    ) -> Iterator[Finding]:
+        kinds = [self._unsorted_iterable(gen.iter, set_locals) for gen in node.generators]
+        if not any(kinds):
+            return
+        context = self._comprehension_sink(ctx, node)
+        if context is None:
+            return
+        bad = next(k for k in kinds if k)
+        what = "a set" if bad == "set" else "an unsorted dict view"
+        yield ctx.finding(
+            node, self.rule,
+            f"comprehension over {what} {context}; wrap the iterable in sorted(...)",
+        )
+
+    @staticmethod
+    def _comprehension_sink(ctx: LintContext, node: ast.AST) -> str | None:
+        """Why this comprehension's order matters (None: it doesn't)."""
+        child = node
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.Return, ast.Yield)):
+                return "reaches a return value"
+            if isinstance(ancestor, ast.Call):
+                dotted = dotted_name(ancestor.func) or ""
+                if child in ancestor.args or any(
+                    kw.value is child for kw in ancestor.keywords
+                ):
+                    if dotted in _SERIALIZERS:
+                        return f"feeds `{dotted}`"
+                    if dotted.rsplit(".", 1)[-1] in _RNG_CONSUMERS:
+                        return f"feeds RNG `{dotted}`"
+                    if dotted in _ORDER_INSENSITIVE_SINKS:
+                        return None
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return None
+            child = ancestor
+        return None
+
+    # ------------------------------------------------------------------
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes += [
+            n for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        seen: set[tuple[int, int, str]] = set()
+        for scope in scopes:
+            for finding in self._check_function(ctx, scope):
+                key = (finding.line, finding.col, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding

@@ -1,0 +1,274 @@
+"""Core machinery of ``reprolint``: findings, pragmas, and the runner.
+
+A :class:`Checker` walks one parsed module (wrapped in a
+:class:`LintContext`) and yields :class:`Finding` records.  The engine
+is responsible for everything rule-independent: discovering files,
+mapping paths to dotted module names, parsing suppression pragmas from
+the token stream (so pragmas inside string literals are *not* honoured),
+and filtering findings against them.
+
+Pragma grammar (one per comment)::
+
+    # lint: allow-<name>[,<name>...] -- <reason>
+
+``<name>`` is a rule id (``det002``) or its alias (``wallclock``).  The
+reason is mandatory: a reasonless pragma suppresses nothing and is
+itself reported as **LNT100**, so every exception to the determinism
+contract is documented at the site that makes it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "LintContext",
+    "Checker",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow-(?P<names>[A-Za-z0-9_,-]+)(?:\s*--\s*(?P<reason>\S.*))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Last physical line of the flagged statement — pragmas anywhere in
+    #: ``[line, end_line]`` suppress the finding.  Not part of rendering.
+    end_line: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# lint: allow-...`` pragma."""
+
+    line: int
+    names: tuple[str, ...]
+    reason: str | None
+
+    def covers(self, finding: Finding, aliases: dict[str, str]) -> bool:
+        """Whether this pragma (if reasoned) silences ``finding``."""
+        if not self.reason:
+            return False
+        if not (finding.line <= self.line <= max(finding.end_line, finding.line)):
+            return False
+        return any(aliases.get(name, name) == finding.rule.lower() for name in self.names)
+
+
+def _parse_suppressions(source: str) -> list[Suppression]:
+    """Extract pragmas from real COMMENT tokens only."""
+    out: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        names = tuple(
+            part.removeprefix("allow-").lower()
+            for part in match.group("names").split(",")
+            if part
+        )
+        out.append(Suppression(line=tok.start[0], names=names, reason=match.group("reason")))
+    return out
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path`` (``""`` when unclassifiable).
+
+    ``src/repro/dht/chord.py`` → ``repro.dht.chord``;
+    ``tests/test_chord.py`` → ``tests.test_chord``; package
+    ``__init__.py`` files name the package itself.
+    """
+    parts = list(path.parts)
+    for anchor in ("repro", "tests", "benchmarks"):
+        if anchor in parts:
+            rel = parts[parts.index(anchor):]
+            if rel[-1].endswith(".py"):
+                rel[-1] = rel[-1][:-3]
+            if rel[-1] == "__init__":
+                rel = rel[:-1]
+            return ".".join(rel)
+    return path.stem
+
+
+class LintContext:
+    """Everything a checker needs to know about one module."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.module = module_name_for(path)
+        self.suppressions = _parse_suppressions(source)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # ------------------------------------------------------------------
+    @property
+    def in_tests(self) -> bool:
+        return self.module.startswith(("tests.", "benchmarks.")) or self.module in (
+            "tests", "benchmarks",
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether the module sits inside any of the dotted ``prefixes``."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """Build a finding anchored at ``node`` (span-aware for pragmas)."""
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=str(self.path),
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+            end_line=getattr(node, "end_lineno", None) or line,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an ``a.b.c`` attribute/name chain (None for anything else)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Checker:
+    """Base class: one rule, one AST pass.
+
+    Subclasses set ``rule`` (the id findings carry) and ``alias`` (the
+    short pragma name), restrict themselves via :meth:`applies`, and
+    yield findings from :meth:`check`.  To add a checker: subclass,
+    implement both methods, append an instance to
+    :data:`repro.lint.checkers.ALL_CHECKERS` (see DESIGN.md §8).
+    """
+
+    rule: str = ""
+    alias: str = ""
+
+    def applies(self, ctx: LintContext) -> bool:
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the override contract a generator
+
+
+def _alias_table(checkers: Sequence[Checker]) -> dict[str, str]:
+    aliases = {c.alias: c.rule.lower() for c in checkers if c.alias}
+    aliases.update({c.rule.lower(): c.rule.lower() for c in checkers})
+    return aliases
+
+
+def lint_source(
+    path: Path | str,
+    source: str,
+    checkers: Sequence[Checker],
+) -> list[Finding]:
+    """Lint one module's source; returns unsuppressed findings.
+
+    Syntax errors surface as a single ``LNT000`` finding.  Reasonless
+    pragmas each produce an ``LNT100`` finding and suppress nothing.
+    """
+    path = Path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path), line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                rule="LNT000", message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path, source, tree)
+    aliases = _alias_table(checkers)
+    raw: list[Finding] = []
+    for checker in checkers:
+        if checker.applies(ctx):
+            raw.extend(checker.check(ctx))
+    kept = [
+        f for f in raw
+        if not any(s.covers(f, aliases) for s in ctx.suppressions)
+    ]
+    for sup in ctx.suppressions:
+        if not sup.reason:
+            kept.append(
+                Finding(
+                    path=str(path), line=sup.line, col=1, rule="LNT100",
+                    message=(
+                        "suppression pragma needs a reason: "
+                        "# lint: allow-" + ",".join(sup.names) + " -- <why>"
+                    ),
+                    end_line=sup.line,
+                )
+            )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``paths`` in sorted, deterministic order."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    checkers: Sequence[Checker],
+) -> list[Finding]:
+    """Lint every python file under ``paths``."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(
+            lint_source(file, file.read_text(encoding="utf-8"), checkers)
+        )
+    return findings

@@ -14,7 +14,8 @@ re-exporting these names.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.metrics.registry import MetricsRegistry
 from repro.util.validation import require

@@ -23,7 +23,8 @@ from __future__ import annotations
 import math
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from collections.abc import Iterable, Iterator
+from typing import Any, cast
 
 from repro.util.validation import require
 
@@ -116,7 +117,7 @@ class Histogram:
         idx = self._index(value)
         self.buckets[idx] = self.buckets.get(idx, 0) + 1
 
-    def record_many(self, values) -> None:
+    def record_many(self, values: Iterable[float]) -> None:
         """Record an iterable of observations."""
         for v in values:
             self.record(v)
@@ -198,13 +199,14 @@ class Histogram:
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "Histogram":
         """Inverse of :meth:`to_dict`."""
-        h = cls(base=float(data["base"]))  # type: ignore[arg-type]
-        h.count = int(data["count"])  # type: ignore[arg-type]
-        h.total = float(data["total"])  # type: ignore[arg-type]
-        h.zero_count = int(data["zero_count"])  # type: ignore[arg-type]
-        h.min = math.inf if data["min"] is None else float(data["min"])  # type: ignore[arg-type]
-        h.max = -math.inf if data["max"] is None else float(data["max"])  # type: ignore[arg-type]
-        h.buckets = {int(i): int(c) for i, c in data["buckets"].items()}  # type: ignore[union-attr]
+        d = cast("dict[str, Any]", data)
+        h = cls(base=float(d["base"]))
+        h.count = int(d["count"])
+        h.total = float(d["total"])
+        h.zero_count = int(d["zero_count"])
+        h.min = math.inf if d["min"] is None else float(d["min"])
+        h.max = -math.inf if d["max"] is None else float(d["max"])
+        h.buckets = {int(i): int(c) for i, c in d["buckets"].items()}
         return h
 
 
@@ -251,7 +253,7 @@ class MetricsRegistry:
 
     #: Fast-path flag: hot code may skip building inputs for a disabled
     #: registry (`NullRegistry` flips it off).
-    enabled = True
+    enabled: bool = True
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}

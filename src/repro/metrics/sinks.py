@@ -79,8 +79,8 @@ class JsonlSink(SpanSink):
 
 def read_jsonl(path: str | Path) -> list[LookupSpan]:
     """Load spans written by :class:`JsonlSink` (inverse operation)."""
-    spans = []
-    with Path(path).open("r", encoding="utf-8") as fh:
+    spans: list[LookupSpan] = []
+    with Path(path).open(encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:
@@ -104,30 +104,26 @@ class SummarySink(SpanSink):
     def emit(self, span: LookupSpan) -> None:
         self._recorder.record(span)
 
+    def _count(self, name: str) -> int:
+        counter = self.registry.counters.get(name)
+        return counter.value if counter is not None else 0
+
     def summary(self, label: str) -> dict[str, object]:
         """Aggregate view of one network label's spans."""
         reg = self.registry
-        counters = reg.counters
-        total = counters[f"{label}.total_hops"].value if f"{label}.total_hops" in counters else 0
-        low = counters[f"{label}.low_layer_hops"].value if f"{label}.low_layer_hops" in counters else 0
+        total = self._count(f"{label}.total_hops")
+        low = self._count(f"{label}.low_layer_hops")
         hops_by_layer = {
             name.rsplit("layer", 1)[1]: c.value
-            for name, c in sorted(counters.items())
+            for name, c in sorted(reg.counters.items())
             if name.startswith(f"{label}.hops.layer")
         }
         return {
-            "lookups": counters[f"{label}.lookups"].value if f"{label}.lookups" in counters else 0,
-            "lookups_failed": counters.get(f"{label}.lookups_failed", _ZERO).value,
-            "timeouts": counters.get(f"{label}.timeouts", _ZERO).value,
+            "lookups": self._count(f"{label}.lookups"),
+            "lookups_failed": self._count(f"{label}.lookups_failed"),
+            "timeouts": self._count(f"{label}.timeouts"),
             "hops": reg.histogram(f"{label}.hops").summary(),
             "latency_ms": reg.histogram(f"{label}.latency_ms").summary(),
             "hops_by_layer": hops_by_layer,
             "low_layer_hop_share": low / total if total else 0.0,
         }
-
-
-class _Zero:
-    value = 0
-
-
-_ZERO = _Zero()

@@ -18,9 +18,14 @@ uninstrumented hot path pays one attribute load.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any, cast
 
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle)
+    from repro.metrics.sinks import SpanSink
 
 __all__ = ["HopRecord", "LookupSpan", "SpanRecorder"]
 
@@ -55,14 +60,15 @@ class HopRecord:
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "HopRecord":
+        d = cast("dict[str, Any]", data)
         return cls(
-            index=int(data["index"]),  # type: ignore[arg-type]
-            src=int(data["src"]),  # type: ignore[arg-type]
-            dst=int(data["dst"]),  # type: ignore[arg-type]
-            layer=int(data["layer"]),  # type: ignore[arg-type]
-            ring=str(data["ring"]),
-            latency_ms=float(data["latency_ms"]),  # type: ignore[arg-type]
-            timeout=bool(data["timeout"]),
+            index=int(d["index"]),
+            src=int(d["src"]),
+            dst=int(d["dst"]),
+            layer=int(d["layer"]),
+            ring=str(d["ring"]),
+            latency_ms=float(d["latency_ms"]),
+            timeout=bool(d["timeout"]),
         )
 
 
@@ -128,15 +134,16 @@ class LookupSpan:
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "LookupSpan":
+        d = cast("dict[str, Any]", data)
         return cls(
-            network=str(data["network"]),
-            source=int(data["source"]),  # type: ignore[arg-type]
-            key=int(data["key"]),  # type: ignore[arg-type]
-            owner=int(data["owner"]),  # type: ignore[arg-type]
-            success=bool(data["success"]),
-            timeouts=int(data["timeouts"]),  # type: ignore[arg-type]
-            retry_latency_ms=float(data["retry_latency_ms"]),  # type: ignore[arg-type]
-            hops=[HopRecord.from_dict(h) for h in data["hops"]],  # type: ignore[union-attr]
+            network=str(d["network"]),
+            source=int(d["source"]),
+            key=int(d["key"]),
+            owner=int(d["owner"]),
+            success=bool(d["success"]),
+            timeouts=int(d["timeouts"]),
+            retry_latency_ms=float(d["retry_latency_ms"]),
+            hops=[HopRecord.from_dict(h) for h in d["hops"]],
         )
 
 
@@ -153,10 +160,10 @@ class SpanRecorder:
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
-        sinks: tuple | list = (),
+        sinks: "Sequence[SpanSink]" = (),
     ) -> None:
         self.registry = registry if registry is not None else NULL_REGISTRY
-        self.sinks = list(sinks)
+        self.sinks: "list[SpanSink]" = list(sinks)
 
     def record(self, span: LookupSpan) -> None:
         """Account one finished lookup."""

@@ -15,7 +15,8 @@ run, which the reproducibility rule (``repro.util.rng``) depends on.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from repro.util.validation import require
 

@@ -11,7 +11,8 @@ experiments can report protocol overheads (§3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from repro.topology.base import LatencyModel
 from repro.util.rng import make_rng

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import Message, SimNetwork

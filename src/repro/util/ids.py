@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.util.validation import require, require_in_range
 
@@ -109,15 +110,16 @@ class IdSpace:
         require_in_range(index, 1, self.bits, name="index")
         return self.wrap(node_id + (1 << (index - 1)))
 
-    def finger_starts(self, node_id: int) -> np.ndarray:
+    def finger_starts(self, node_id: int) -> npt.NDArray[np.uint64]:
         """Vector of all ``bits`` finger starts for ``node_id``."""
         powers = np.left_shift(np.uint64(1), np.arange(self.bits, dtype=np.uint64))
-        return (np.uint64(node_id) + powers) & np.uint64(self.size - 1)
+        starts = (np.uint64(node_id) + powers) & np.uint64(self.size - 1)
+        return np.asarray(starts, dtype=np.uint64)
 
     # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
-    def sample_unique_ids(self, count: int, rng: np.random.Generator) -> np.ndarray:
+    def sample_unique_ids(self, count: int, rng: np.random.Generator) -> npt.NDArray[np.uint64]:
         """Draw ``count`` distinct ids uniformly at random.
 
         Collisions are rejected and redrawn so the result always holds
@@ -147,9 +149,9 @@ class IdSpace:
             ids.update(int(v) for v in draw)
             while len(ids) > count:
                 ids.pop()
-        out = np.fromiter(ids, dtype=np.uint64, count=count)
+        out = np.fromiter(ids, dtype=np.uint64, count=count)  # lint: allow-unsorted -- int-set order is hash-stable across runs, and rng.shuffle below re-permutes it; sorting first would silently reseed every artifact
         rng.shuffle(out)
-        return out
+        return np.asarray(out, dtype=np.uint64)
 
     def ids_from_names(self, names: Iterable[str]) -> list[int]:
         """Hash a sequence of textual names into the space (no dedup)."""
@@ -169,7 +171,7 @@ class IdSpace:
         return f"{value:0{width}x}"
 
 
-def unique_sorted(ids: Sequence[int]) -> np.ndarray:
+def unique_sorted(ids: Sequence[int]) -> npt.NDArray[np.uint64]:
     """Return the sorted unique ``uint64`` array of ``ids``.
 
     Helper shared by network constructors that accept arbitrary

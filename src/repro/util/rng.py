@@ -21,7 +21,7 @@ runs and across machines.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

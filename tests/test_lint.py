@@ -1,0 +1,443 @@
+"""Tests for ``repro.lint`` — the determinism & simulation-safety analyzer.
+
+Each checker gets true-positive fixtures, known false-positive fixtures
+that must stay silent, and pragma-suppression coverage; the CLI's exit
+codes are checked end to end.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_CHECKERS, lint_source
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import lint_paths, module_name_for
+
+CORE = Path("src/repro/core/_fixture.py")
+DHT = Path("src/repro/dht/_fixture.py")
+SIM = Path("src/repro/sim/_fixture.py")
+EXPERIMENTS = Path("src/repro/experiments/_fixture.py")
+ANALYSIS = Path("src/repro/analysis/_fixture.py")
+RNG_MODULE = Path("src/repro/util/rng.py")
+TESTS = Path("tests/test_fixture.py")
+
+
+def run(source: str, path: Path = CORE) -> list:
+    return lint_source(path, textwrap.dedent(source), ALL_CHECKERS)
+
+
+def rules(source: str, path: Path = CORE) -> list[str]:
+    return [f.rule for f in run(source, path)]
+
+
+# ----------------------------------------------------------------------
+# engine basics
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_module_name_mapping(self):
+        assert module_name_for(Path("src/repro/dht/chord.py")) == "repro.dht.chord"
+        assert module_name_for(Path("src/repro/util/__init__.py")) == "repro.util"
+        assert module_name_for(Path("tests/test_chord.py")) == "tests.test_chord"
+        assert module_name_for(Path("scripts/tool.py")) == "tool"
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = run("def broken(:\n", CORE)
+        assert [f.rule for f in findings] == ["LNT000"]
+
+    def test_findings_sorted_and_rendered(self):
+        findings = run(
+            """
+            import time
+            import random
+            time.time()
+            """,
+            SIM,
+        )
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        rendered = findings[0].render()
+        assert "_fixture.py:" in rendered and findings[0].rule in rendered
+
+    def test_pragma_inside_string_literal_is_ignored(self):
+        findings = run(
+            'import time\nx = time.time() if "# lint: allow-wallclock -- no" else 0\n',
+            SIM,
+        )
+        assert [f.rule for f in findings] == ["DET002"]
+
+
+# ----------------------------------------------------------------------
+# DET001 — randomness through repro.util.rng only
+# ----------------------------------------------------------------------
+class TestRngChecker:
+    def test_flags_direct_default_rng_in_src(self):
+        assert rules("import numpy as np\nrng = np.random.default_rng(3)\n") == ["DET001"]
+
+    def test_flags_stdlib_random_import(self):
+        assert rules("import random\n") == ["DET001"]
+        assert rules("from random import choice\n") == ["DET001"]
+
+    def test_flags_global_seed_and_legacy_api(self):
+        assert rules("import numpy as np\nnp.random.seed(0)\n") == ["DET001"]
+        assert rules("import numpy as np\nx = np.random.rand(3)\n") == ["DET001"]
+
+    def test_rng_module_itself_is_exempt(self):
+        assert rules("import numpy as np\nrng = np.random.default_rng(0)\n", RNG_MODULE) == []
+
+    def test_make_rng_stays_silent(self):
+        assert rules("from repro.util.rng import make_rng\nrng = make_rng(7)\n") == []
+
+    def test_tests_may_seed_explicitly_but_not_draw_entropy(self):
+        assert rules("import numpy as np\nrng = np.random.default_rng(42)\n", TESTS) == []
+        assert rules("import numpy as np\nrng = np.random.default_rng()\n", TESTS) == ["DET001"]
+        assert rules("import random\n", TESTS) == ["DET001"]
+
+
+# ----------------------------------------------------------------------
+# DET002 — no wall-clock in the deterministic stacks
+# ----------------------------------------------------------------------
+class TestWallClockChecker:
+    @pytest.mark.parametrize(
+        "call", ["time.time()", "time.perf_counter()", "time.monotonic_ns()"]
+    )
+    def test_flags_time_calls_in_scope(self, call):
+        assert rules(f"import time\nt = {call}\n", SIM) == ["DET002"]
+
+    def test_flags_datetime_now(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert rules(src, DHT) == ["DET002"]
+
+    def test_experiments_are_in_scope(self):
+        assert rules("import time\nt = time.perf_counter()\n", EXPERIMENTS) == ["DET002"]
+
+    def test_out_of_scope_modules_stay_silent(self):
+        assert rules("import time\nt = time.perf_counter()\n", ANALYSIS) == []
+
+    def test_simulated_time_stays_silent(self):
+        assert rules("def f(sim):\n    return sim.now\n", SIM) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        src = (
+            "import time\n"
+            "t = time.perf_counter()  # lint: allow-wallclock -- phase timing only\n"
+        )
+        assert rules(src, EXPERIMENTS) == []
+
+    def test_rule_id_works_as_pragma_name_too(self):
+        src = "import time\nt = time.time()  # lint: allow-det002 -- timing harness\n"
+        assert rules(src, SIM) == []
+
+    def test_pragma_without_reason_does_not_suppress(self):
+        src = "import time\nt = time.time()  # lint: allow-wallclock\n"
+        assert sorted(rules(src, SIM)) == ["DET002", "LNT100"]
+
+    def test_multiline_statement_pragma_on_last_line(self):
+        src = (
+            "import time\n"
+            "t = time.time(\n"
+            ")  # lint: allow-wallclock -- spans the whole statement\n"
+        )
+        assert rules(src, SIM) == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration must not reach results
+# ----------------------------------------------------------------------
+class TestUnsortedIterationChecker:
+    def test_flags_comprehension_over_dict_view_in_return(self):
+        src = """
+        def f(d):
+            return [k for k in d.items()]
+        """
+        assert rules(src) == ["DET003"]
+
+    def test_flags_set_materialization(self):
+        src = """
+        def f():
+            s = {1, 2, 3}
+            return list(s)
+        """
+        assert rules(src) == ["DET003"]
+
+    def test_flags_annotated_set_local(self):
+        src = """
+        import numpy as np
+        def f(count):
+            ids: set[int] = set()
+            return np.fromiter(ids, dtype=np.int64, count=count)
+        """
+        assert rules(src) == ["DET003"]
+
+    def test_flags_loop_appending_to_returned_list(self):
+        src = """
+        def f(d):
+            out = []
+            for k, v in d.items():
+                out.append(v)
+            return out
+        """
+        assert rules(src) == ["DET003"]
+
+    def test_flags_loop_storing_into_escaping_dict(self):
+        src = """
+        class C:
+            def rebuild(self, catalog):
+                desired = {}
+                for key, value in catalog.items():
+                    desired[key] = value
+                self.stored = desired
+        """
+        assert rules(src) == ["DET003"]
+
+    def test_flags_comprehension_feeding_rng_choice(self):
+        src = """
+        def f(rng, d):
+            pick = rng.choice([k for k in d.keys()])
+        """
+        assert rules(src) == ["DET003"]
+
+    def test_sorted_wrapping_silences(self):
+        src = """
+        def f(d):
+            for k, v in sorted(d.items()):
+                yield k
+            return [k for k in sorted(d.keys())]
+        """
+        assert rules(src) == []
+
+    def test_accumulation_loop_stays_silent(self):
+        src = """
+        def f(d):
+            total = 0
+            for k, v in d.items():
+                total += v
+            return total
+        """
+        assert rules(src) == []
+
+    def test_order_insensitive_reducers_stay_silent(self):
+        src = """
+        def f(d, s):
+            a = sum(v for v in d.values())
+            b = max(s)
+            c = set(x + 1 for x in s)
+            return a + b + len(c)
+        """
+        assert rules(src) == []
+
+    def test_membership_only_set_stays_silent(self):
+        # The inet/brite `edge_set` idiom: a set used purely for
+        # membership while an ordered list carries the order.
+        src = """
+        def f(pairs):
+            edge_set = set()
+            edges = []
+            for pair in pairs:
+                if pair in edge_set:
+                    continue
+                edge_set.add(pair)
+                edges.append(pair)
+            return edges
+        """
+        assert rules(src) == []
+
+    def test_out_of_scope_module_stays_silent(self):
+        assert rules("def f(d):\n    return [k for k in d.items()]\n", ANALYSIS) == []
+
+
+# ----------------------------------------------------------------------
+# MET001 — metrics stay behind a guard on dht/sim hot paths
+# ----------------------------------------------------------------------
+class TestMetricsGuardChecker:
+    def test_flags_unguarded_call(self):
+        src = """
+        class Net:
+            def send(self):
+                self.metrics.inc("sim.messages_sent")
+        """
+        assert rules(src, SIM) == ["MET001"]
+
+    def test_is_none_guard_silences(self):
+        src = """
+        class Net:
+            def send(self):
+                if self.metrics is not None:
+                    self.metrics.inc("sim.messages_sent")
+        """
+        assert rules(src, SIM) == []
+
+    def test_alias_guard_silences(self):
+        src = """
+        class Net:
+            def send(self):
+                m = self.metrics
+                if m is not None:
+                    m.inc("sim.messages_sent")
+                    m.observe("sim.delay", 1.0)
+        """
+        assert rules(src, SIM) == []
+
+    def test_unguarded_alias_flagged(self):
+        src = """
+        class Net:
+            def send(self):
+                m = self.metrics
+                m.inc("sim.messages_sent")
+        """
+        assert rules(src, SIM) == ["MET001"]
+
+    def test_early_return_guard_silences(self):
+        src = """
+        class Net:
+            def send(self):
+                if self.metrics is None:
+                    return
+                self.metrics.inc("sim.messages_sent")
+        """
+        assert rules(src, SIM) == []
+
+    def test_boolop_guard_silences(self):
+        src = """
+        class Net:
+            def send(self):
+                ok = self.metrics is not None and self.metrics.inc("x") is None
+        """
+        assert rules(src, SIM) == []
+
+    def test_attach_assignment_is_exempt(self):
+        src = """
+        class Net:
+            def attach_metrics(self, registry):
+                self.metrics = registry
+                return self.metrics
+        """
+        assert rules(src, SIM) == []
+
+    def test_out_of_scope_module_stays_silent(self):
+        src = """
+        class Exp:
+            def run(self):
+                self.metrics.inc("x")
+        """
+        assert rules(src, EXPERIMENTS) == []
+
+
+# ----------------------------------------------------------------------
+# INT001 — interval math through repro.util.intervals
+# ----------------------------------------------------------------------
+class TestIntervalChecker:
+    def test_flags_chained_id_comparison(self):
+        src = """
+        def owns(pred, x, node):
+            return pred < x <= node
+        """
+        assert rules(src, DHT) == ["INT001"]
+
+    def test_bounds_check_against_len_stays_silent(self):
+        src = """
+        def valid(i, xs):
+            return 0 <= i < len(xs)
+        """
+        assert rules(src, DHT) == []
+
+    def test_literal_bounds_stay_silent(self):
+        assert rules("def f(x):\n    return -1 < x <= 10\n", DHT) == []
+
+    def test_two_operand_compare_stays_silent(self):
+        assert rules("def f(a, b):\n    return a < b\n", DHT) == []
+
+    def test_out_of_scope_module_stays_silent(self):
+        assert rules("def f(a, x, b):\n    return a < x <= b\n", SIM) == []
+
+    def test_pragma_alias_suppresses(self):
+        src = (
+            "def owns(pred, x, node):\n"
+            "    return pred < x <= node  # lint: allow-interval -- ids pre-unwrapped by caller\n"
+        )
+        assert rules(src, DHT) == []
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def _write(self, root: Path, relpath: str, source: str) -> Path:
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/core/ok.py", "X = 1\n")
+        assert lint_main([str(tmp_path / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        self._write(
+            tmp_path, "src/repro/core/bad.py",
+            "import numpy as np\nrng = np.random.default_rng(1)\n",
+        )
+        assert lint_main([str(tmp_path / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "bad.py:2" in out
+
+    def test_exit_zero_when_all_findings_suppressed(self, tmp_path):
+        self._write(
+            tmp_path, "src/repro/core/ok.py",
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)"
+            "  # lint: allow-rng -- fixture generator, single consumer\n",
+        )
+        assert lint_main([str(tmp_path / "src")]) == 0
+
+    def test_reasonless_pragma_fails_the_run(self, tmp_path, capsys):
+        self._write(
+            tmp_path, "src/repro/core/bad.py",
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)  # lint: allow-rng\n",
+        )
+        assert lint_main([str(tmp_path / "src")]) == 1
+        assert "LNT100" in capsys.readouterr().out
+
+    def test_select_restricts_rules(self, tmp_path):
+        self._write(
+            tmp_path, "src/repro/sim/bad.py",
+            "import time\nimport random\nt = time.time()\n",
+        )
+        assert lint_main(["--select", "DET001", str(tmp_path / "src")]) == 1
+        assert lint_main(["--select", "MET001", str(tmp_path / "src"), "-q"]) == 0
+
+    def test_unknown_rule_or_empty_path_is_usage_error(self, tmp_path):
+        self._write(tmp_path, "src/repro/core/ok.py", "X = 1\n")
+        with pytest.raises(SystemExit) as exc:
+            lint_main(["--select", "NOPE01", str(tmp_path / "src")])
+        assert exc.value.code == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(empty)])
+        assert exc.value.code == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(tmp_path / "nope.py")])
+        assert exc.value.code == 2
+
+    def test_lint_paths_accepts_single_files(self, tmp_path):
+        bad = self._write(
+            tmp_path, "src/repro/core/bad.py", "import random\n"
+        )
+        findings = lint_paths([bad], ALL_CHECKERS)
+        assert [f.rule for f in findings] == ["DET001"]
+
+
+# ----------------------------------------------------------------------
+# the analyzer ships clean against its own repository
+# ----------------------------------------------------------------------
+class TestSelfHosting:
+    def test_repo_tree_is_clean(self):
+        root = Path(__file__).resolve().parent.parent
+        findings = lint_paths([root / "src", root / "tests"], ALL_CHECKERS)
+        assert findings == [], "\n".join(f.render() for f in findings)
