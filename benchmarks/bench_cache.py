@@ -1,0 +1,17 @@
+"""Benchmark: the cache-effect sweep (repro.cache end to end).
+
+Delegates to the registered ``cache_effect`` experiment: Zipf exponent
+× per-node cache capacity × churn cells over both stacks, reporting
+hop/latency reduction vs the paired uncached baseline and the
+owner-load-concentration metric.  Fails if any shape check diverges —
+in particular the >=20% headline latency-reduction gate.  The same
+document is written as ``BENCH_cache.json`` by
+``python -m repro.experiments cache-bench``.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_cache_effect(benchmark):
+    """Zipf sweep: latency reduction, hit rates, hotspot spreading."""
+    run_experiment_benchmark(benchmark, "cache_effect")

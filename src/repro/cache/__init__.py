@@ -1,0 +1,33 @@
+"""Path caching & hotspot mitigation (DESIGN.md §9).
+
+The paper motivates HIERAS with file-sharing workloads where a small
+set of hot keys dominates (§1: Napster/Gnutella/KaZaA), and its §3.2
+storage discipline inherits the CFS/Chord practice of caching lookup
+results along the routing path.  This package supplies that layer for
+the trace-driven stacks:
+
+* :class:`CachePolicy` — capacity / eviction / TTL / population knobs;
+* :class:`NodeCache` — one node's deterministic LRU (or TTL+LRU) cache
+  of ``key -> (owner, value)`` lookup answers;
+* :class:`CachedNetwork` — a :class:`~repro.dht.base.DHTNetwork`
+  wrapper over flat Chord or HIERAS whose ``route_cached`` serves hot
+  keys from caches populated along earlier lookup paths, spreading the
+  owner's load across the cache holders.
+
+Everything is deterministic: caches hold no randomness, eviction order
+is a pure function of the request sequence, and the simulated cache
+clock advances only when the caller says so — the same trace replayed
+twice produces byte-identical cache metrics.
+"""
+
+from repro.cache.network import CachedNetwork, CacheStats
+from repro.cache.policy import CachePolicy
+from repro.cache.store import CacheEntry, NodeCache
+
+__all__ = [
+    "CachePolicy",
+    "CacheEntry",
+    "NodeCache",
+    "CachedNetwork",
+    "CacheStats",
+]

@@ -310,7 +310,7 @@ class HierasNetwork(DHTNetwork):
             hops_per_layer=hops_per_layer,
         )
         if self.metrics is not None:
-            layers, rings = self._hop_layer_info(result)
+            layers, rings = self.hop_layer_info(result)
             self.record_route("hieras", result, layers=layers, rings=rings)
         return result
 
@@ -378,11 +378,11 @@ class HierasNetwork(DHTNetwork):
             retry_latency_ms=ctx.retry_latency_ms,
         )
         if self.metrics is not None:
-            layers, rings = self._hop_layer_info(result)
+            layers, rings = self.hop_layer_info(result)
             self.record_route("hieras", result, layers=layers, rings=rings)
         return result
 
-    def _hop_layer_info(self, result: RouteResult) -> tuple[list[int], list[str]]:
+    def hop_layer_info(self, result: RouteResult) -> tuple[list[int], list[str]]:
         """Per-hop ``(layers, rings)`` labels for one finished lookup.
 
         ``hops_per_layer`` is ordered lowest layer first, matching the

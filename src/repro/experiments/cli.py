@@ -18,6 +18,10 @@ Subcommands
     Run the perf-baseline pipeline (``repro.experiments.baseline``) and
     write ``BENCH_baseline.json``: wall time per phase plus
     seed-deterministic hop/latency metrics for both stacks.
+``cache-bench``
+    Run the cache-effect sweep (``repro.experiments.cache_exp``) and
+    write ``BENCH_cache.json``: Zipf exponent × cache capacity × churn
+    cells with hop/latency reductions and owner-load concentration.
 
 ``run`` additionally drops one ``metrics_<id>.json`` artifact per
 experiment (structured result data; directory overridable via
@@ -192,6 +196,26 @@ def _cmd_perf_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.cache_exp import run_bench_cache, write_bench_cache
+
+    full = is_full_scale(True if args.full else None)
+    doc = run_bench_cache(full=full, seed=args.seed)
+    path = write_bench_cache(doc, args.out)
+    for name, phase in doc["phases"].items():
+        print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
+    for stack, h in doc["metrics"]["headline"].items():
+        print(
+            f"  {stack:<8} latency -{h['latency_reduction_percent']:.1f}%  "
+            f"hops -{h['hop_reduction_percent']:.1f}%  "
+            f"hit rate {100 * h['hit_rate']:.1f}%  "
+            f"load concentration {h['uncached_concentration']:.1f} -> "
+            f"{h['cached_concentration']:.1f}"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -229,6 +253,16 @@ def main(argv: list[str] | None = None) -> int:
     baseline.add_argument("--full", action="store_true", help="paper-scale parameters")
     baseline.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
     baseline.set_defaults(func=_cmd_perf_baseline)
+    cache = sub.add_parser(
+        "cache-bench", help="run the cache-effect sweep, write BENCH_cache.json"
+    )
+    cache.add_argument(
+        "--out", default="BENCH_cache.json",
+        help="output path (default BENCH_cache.json)",
+    )
+    cache.add_argument("--full", action="store_true", help="paper-scale parameters")
+    cache.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
+    cache.set_defaults(func=_cmd_cache_bench)
     args = parser.parse_args(argv)
     return int(args.func(args))
 

@@ -111,7 +111,8 @@ class WallClockChecker(Checker):
 
     def applies(self, ctx: LintContext) -> bool:
         return ctx.in_package(
-            "repro.sim", "repro.core", "repro.dht", "repro.faults", "repro.experiments"
+            "repro.sim", "repro.core", "repro.dht", "repro.faults",
+            "repro.experiments", "repro.cache",
         )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
@@ -181,7 +182,7 @@ class UnsortedIterationChecker(Checker):
     def applies(self, ctx: LintContext) -> bool:
         return ctx.in_package(
             "repro.sim", "repro.core", "repro.dht", "repro.faults",
-            "repro.topology", "repro.metrics", "repro.util",
+            "repro.topology", "repro.metrics", "repro.util", "repro.cache",
         )
 
     # -- set-typed local tracking --------------------------------------

@@ -7,8 +7,9 @@ feeds an optional :class:`~repro.metrics.registry.MetricsRegistry`, so
 per-phase traffic attribution (join cost, steady-state upkeep) lands in
 the same place as routing spans and simulator counters.
 
-``repro.sim.trace`` remains as a deprecated compatibility shim
-re-exporting these names.
+``repro.sim.trace`` is a retired stub that still lazily re-exports
+these names with a :class:`DeprecationWarning`; it is removed in the
+next release.
 """
 
 from __future__ import annotations

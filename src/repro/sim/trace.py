@@ -1,24 +1,30 @@
-"""Deprecated shim — message tracing moved to :mod:`repro.metrics.messages`.
+"""Retired shim — message tracing lives in :mod:`repro.metrics.messages`.
 
-The tracer is now part of the unified observability subsystem
-(:mod:`repro.metrics`), where it can feed the same
-:class:`~repro.metrics.registry.MetricsRegistry` as routing spans and
-simulator counters.  Import :class:`MessageTracer` /
-:class:`TracedMessage` from ``repro.metrics`` (or
-``repro.metrics.messages``) instead; this module re-exports them
-unchanged and will be removed in a future release.
+The tracer moved to the unified observability subsystem two releases
+ago; every in-repo importer now uses ``repro.metrics`` directly.  This
+stub is the last release of grace for external code: importing it emits
+one :class:`DeprecationWarning` and the moved names resolve lazily (no
+eager ``repro.metrics`` import).  The module is deleted next release.
 """
 
 from __future__ import annotations
 
 import warnings
-
-from repro.metrics.messages import MessageTracer, TracedMessage
+from typing import Any
 
 __all__ = ["TracedMessage", "MessageTracer"]
 
 warnings.warn(
-    "repro.sim.trace is deprecated; import MessageTracer from repro.metrics",
+    "repro.sim.trace is retired; import MessageTracer/TracedMessage from "
+    "repro.metrics.messages — this stub disappears in the next release",
     DeprecationWarning,
     stacklevel=2,
 )
+
+
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        from repro.metrics import messages
+
+        return getattr(messages, name)
+    raise AttributeError(f"module 'repro.sim.trace' has no attribute {name!r}")

@@ -1,0 +1,138 @@
+"""Tests for the cache-effect experiment pipeline (``BENCH_cache.json``).
+
+Small-scale runs of :func:`repro.experiments.cache_exp.run_bench_cache`:
+document shape, paired-baseline reductions, churn/staleness cells, and
+byte-identical ``metrics`` across runs (the determinism gate the full
+benchmark is held to).
+"""
+
+import json
+
+from repro.cache import CachePolicy
+from repro.experiments.cache_exp import (
+    HEADLINE_CAPACITY,
+    HEADLINE_EXPONENT,
+    SCHEMA,
+    make_zipf_trace,
+    run_bench_cache,
+    run_cache_cell,
+    write_bench_cache,
+)
+from repro.experiments.config import SimConfig
+from repro.experiments.runner import build_bundle
+
+SMALL = dict(
+    seed=7,
+    n_peers=200,
+    n_requests=800,
+    catalog_size=300,
+    capacities=(HEADLINE_CAPACITY,),
+    exponents=(HEADLINE_EXPONENT,),
+    churn_fraction=0.1,
+)
+
+
+class TestRunCacheCell:
+    def test_cell_accounting(self):
+        bundle = build_bundle(
+            SimConfig(model="ts", n_peers=150, n_landmarks=4, depth=2, seed=3)
+        )
+        trace = make_zipf_trace(
+            bundle, 400, catalog_size=100, zipf_exponent=1.0
+        )
+        cell = run_cache_cell(
+            bundle, trace, stack="chord", policy=CachePolicy(capacity=32)
+        )
+        assert cell["attempted"] == 400.0
+        assert cell["success_rate"] == 1.0
+        assert cell["cache_lookups"] == 400.0
+        assert cell["cache_hits"] + cell["cache_misses"] == 400.0
+        assert 0.0 < cell["cache_hit_rate"] < 1.0
+        assert cell["load_total_served"] == 400.0
+
+    def test_uncached_baseline_has_no_cache_activity(self):
+        bundle = build_bundle(
+            SimConfig(model="ts", n_peers=150, n_landmarks=4, depth=2, seed=3)
+        )
+        trace = make_zipf_trace(
+            bundle, 300, catalog_size=100, zipf_exponent=1.0
+        )
+        base = run_cache_cell(
+            bundle, trace, stack="hieras", policy=CachePolicy(capacity=0)
+        )
+        assert base["cache_hits"] == 0.0
+        assert base["cache_insertions"] == 0.0
+        assert base["mean_hops"] > 0.0
+
+
+class TestRunBenchCache:
+    def setup_method(self):
+        self.doc = run_bench_cache(**SMALL)
+
+    def test_document_shape(self):
+        doc = self.doc
+        assert doc["schema"] == SCHEMA
+        assert set(doc) == {"schema", "config", "phases", "metrics"}
+        assert doc["config"]["n_peers"] == 200
+        metrics = doc["metrics"]
+        assert set(metrics) == {"cells", "headline"}
+        # 1 baseline + 1 cached + 3 churn cells, per stack.
+        assert len(metrics["cells"]) == 10
+        assert {c["stack"] for c in metrics["cells"]} == {"chord", "hieras"}
+        assert set(metrics["headline"]) == {"chord", "hieras"}
+
+    def test_cached_cells_reduce_hops_and_latency(self):
+        for cell in self.doc["metrics"]["cells"]:
+            if cell["churn_fraction"] == 0.0 and cell["capacity"] > 0:
+                assert cell["hop_reduction_percent"] > 0.0
+                assert cell["latency_reduction_percent"] > 0.0
+                assert cell["cache_hit_rate"] > 0.0
+
+    def test_headline_spreads_owner_load(self):
+        for stack in ("chord", "hieras"):
+            head = self.doc["metrics"]["headline"][stack]
+            assert head["cached_concentration"] < head["uncached_concentration"]
+            assert head["cached_max_served"] < head["uncached_max_served"]
+
+    def test_churn_cells_detect_staleness(self):
+        churn = [
+            c for c in self.doc["metrics"]["cells"]
+            if c["churn_fraction"] > 0.0 and c["capacity"] > 0
+        ]
+        assert len(churn) == 4  # (lru + ttl-lru) x 2 stacks
+        assert all(not c["cache_values"] for c in churn)  # shortcut-only
+        assert all(c["success_rate"] > 0.95 for c in churn)
+        assert sum(c["cache_stale_evictions"] for c in churn) > 0
+        ttl = [c for c in churn if c["eviction"] == "ttl-lru"]
+        assert len(ttl) == 2
+        assert sum(c["cache_expirations"] for c in ttl) > 0
+
+    def test_metrics_block_is_deterministic(self):
+        again = run_bench_cache(**SMALL)
+        assert json.dumps(self.doc["metrics"], sort_keys=True) == json.dumps(
+            again["metrics"], sort_keys=True
+        )
+        # Wall-clock phases exist but stay out of the deterministic block.
+        assert set(self.doc["phases"]) == set(again["phases"])
+
+    def test_write_bench_cache(self, tmp_path):
+        out = write_bench_cache(self.doc, tmp_path / "BENCH_cache.json")
+        loaded = json.loads(out.read_text())
+        assert loaded["schema"] == SCHEMA
+        assert loaded["metrics"] == json.loads(
+            json.dumps(self.doc["metrics"])
+        )
+
+
+class TestExperimentRegistration:
+    def test_cache_effect_registered(self):
+        from repro.experiments.figures import EXPERIMENTS
+
+        exp = EXPERIMENTS["cache_effect"]
+        assert "cach" in exp.title.lower()
+        assert "20%" in exp.paper_claim or ">=20" in exp.paper_claim
+
+    def test_cli_lists_cache_bench(self):
+        from repro.experiments import cli
+
+        assert hasattr(cli, "_cmd_cache_bench")

@@ -161,15 +161,30 @@ class TestMessageTracer:
         assert reg.counter("trace.sent.y").value == 1
         assert reg.histogram("trace.delay_ms").count == 3
 
-    def test_deprecated_shim_still_works(self):
-        """repro.sim.trace warns but re-exports the moved tracer."""
+    def test_retired_shim_warns_exactly_once(self):
+        """The repro.sim.trace stub: one DeprecationWarning, lazy re-exports.
+
+        Last release of grace before deletion — importing the stub must
+        emit exactly one DeprecationWarning (not one per attribute), the
+        moved names must resolve to the repro.metrics originals, and
+        unknown attributes must still raise AttributeError.
+        """
         import importlib
         import sys
         import warnings
+
+        from repro.metrics.messages import TracedMessage
 
         sys.modules.pop("repro.sim.trace", None)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             shim = importlib.import_module("repro.sim.trace")
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        assert shim.MessageTracer is MessageTracer
+            assert shim.MessageTracer is MessageTracer
+            assert shim.TracedMessage is TracedMessage
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.metrics.messages" in str(deprecations[0].message)
+        with pytest.raises(AttributeError):
+            shim.no_such_name

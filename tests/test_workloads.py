@@ -78,6 +78,38 @@ class TestRequestTrace:
             np.concatenate([p.keys for p in parts]), trace.keys
         )
 
+    def test_split_more_parts_than_requests(self):
+        """parts > len(trace): empty chunks are dropped, nothing is lost."""
+        space = IdSpace(16)
+        trace = generate_requests(4, 5, space, seed=6)
+        parts = trace.split(9)
+        assert len(parts) == 4
+        assert all(len(p) == 1 for p in parts)
+        np.testing.assert_array_equal(
+            np.concatenate([p.keys for p in parts]), trace.keys
+        )
+
+    def test_split_single_part_is_whole_trace(self):
+        space = IdSpace(16)
+        trace = generate_requests(37, 5, space, seed=6)
+        parts = trace.split(1)
+        assert len(parts) == 1
+        np.testing.assert_array_equal(parts[0].sources, trace.sources)
+        np.testing.assert_array_equal(parts[0].keys, trace.keys)
+
+    def test_split_recombination_preserves_order(self):
+        """Concatenating the chunks reproduces the trace element-for-element."""
+        space = IdSpace(16)
+        trace = generate_requests(101, 7, space, seed=8)
+        for parts_n in (2, 3, 7):
+            parts = trace.split(parts_n)
+            np.testing.assert_array_equal(
+                np.concatenate([p.sources for p in parts]), trace.sources
+            )
+            np.testing.assert_array_equal(
+                np.concatenate([p.keys for p in parts]), trace.keys
+            )
+
     def test_validation(self):
         space = IdSpace(16)
         with pytest.raises(ValueError):
@@ -86,6 +118,27 @@ class TestRequestTrace:
             generate_requests(5, 5, space, key_dist="bogus")
         with pytest.raises(ValueError):
             RequestTrace(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            generate_requests(5, 5, space).split(0)
+
+
+class TestZipfTraceRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        """A Zipf trace survives save_trace/load_trace bit-exactly."""
+        from repro.workloads.io import load_trace, save_trace
+
+        space = IdSpace(16)
+        trace = generate_requests(
+            300, 20, space, seed=11, key_dist="zipf",
+            catalog_size=64, zipf_exponent=1.1,
+        )
+        path = tmp_path / "zipf.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.sources, trace.sources)
+        np.testing.assert_array_equal(loaded.keys, trace.keys)
+        assert loaded.keys.dtype == trace.keys.dtype
+        assert list(loaded) == list(trace)
 
 
 class TestChurn:
