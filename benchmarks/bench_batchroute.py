@@ -1,0 +1,15 @@
+"""Benchmark: the vectorized batch routing engine vs the scalar loop.
+
+Delegates to the registered ``batch_route`` experiment, which routes
+the same seeded trace through both trace-driven stacks with both
+engines, gates on the deterministic engines-agree bits (exact hop and
+bit-identical latency equality), and reports lookups/sec plus the
+batch-over-scalar speedup per (stack, N) cell.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_batch_route(benchmark):
+    """Scalar vs batch wall time + exact-equivalence gate, both stacks."""
+    run_experiment_benchmark(benchmark, "batch_route")

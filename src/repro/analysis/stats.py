@@ -93,12 +93,33 @@ class RouteSample:
         return float(lat / hops) if hops else 0.0
 
 
-def collect_routes(network: DHTNetwork, trace: RequestTrace) -> RouteSample:
+def collect_routes(
+    network: DHTNetwork, trace: RequestTrace, *, engine: str = "batch"
+) -> RouteSample:
     """Run every request of ``trace`` through ``network``.
 
     Per-hop latencies are recomputed from each path so the low-layer
     latency split is exact.
+
+    ``engine="batch"`` (default) routes the whole trace through the
+    vectorized frontier engine (:mod:`repro.engine`) whenever the
+    network supports it and no span tracing is attached; the sample is
+    bit-identical to the scalar loop (same hop counts, exact float
+    equality on latencies), just much faster.  ``engine="scalar"``
+    forces the per-request loop.
     """
+    from repro.engine import batch_route, supports_batch
+
+    require(engine in ("batch", "scalar"), f"unknown engine {engine!r}")
+    if engine == "batch" and supports_batch(network):
+        result = batch_route(network, trace.sources, trace.keys)
+        return RouteSample(
+            hops=result.hops,
+            latency_ms=result.latency_ms,
+            low_layer_hops=result.low_layer_hops,
+            top_layer_hops=result.top_layer_hops,
+            low_layer_latency_ms=result.low_layer_latency_ms(),
+        )
     n = len(trace)
     hops = np.zeros(n, dtype=np.int64)
     latency = np.zeros(n, dtype=np.float64)

@@ -107,12 +107,11 @@ class FileSharingSystem:
         count = min(count, max(len(online) - 4, 0))
         if count <= 0:
             return 0
-        victims = self.rng.choice(online, size=count, replace=False)
+        victims = [int(v) for v in self.rng.choice(online, size=count, replace=False)]
         for victim in victims:
-            victim = int(victim)
             self._offline.add(victim)
             self.store.drop_peer_state(victim)  # its disk is gone
-            self.network.remove_peer(victim)
+        self.network.remove_peers(victims)  # one rebuild for the whole wave
         return count
 
     def _rejoin_peers(self, count: int) -> int:
@@ -121,13 +120,12 @@ class FileSharingSystem:
             return 0
         peers = sorted(self._offline)
         picks = self.rng.choice(len(peers), size=count, replace=False)
-        for i in picks:
-            peer = peers[int(i)]
-            self._offline.discard(peer)
-            # A rejoining host keeps its identity: same node id, same
-            # attachment router, same ring names (HIERAS re-derives its
-            # rings from the retained landmark orders).
-            self.network.revive_peer(peer)
+        rejoining = [peers[int(i)] for i in picks]
+        self._offline.difference_update(rejoining)
+        # A rejoining host keeps its identity: same node id, same
+        # attachment router, same ring names (HIERAS re-derives its
+        # rings from the retained landmark orders).
+        self.network.revive_peers(rejoining)  # one rebuild for the wave
         return count
 
     # ------------------------------------------------------------------

@@ -167,6 +167,18 @@ class HierasNetwork(DHTNetwork):
             self._ring_names.append(layer_names)
         for stale in known_names - seen_names:
             self.directory.drop(stale)
+        # Per-layer accessor caches: ring membership only changes here,
+        # so the name->ring maps and size vectors sweeps poll per cell
+        # are materialized once per rebuild instead of per call.
+        self._rings_by_name: list[dict[str, SortedRing]] = [
+            dict(zip(names, rings))
+            for names, rings in zip(self._ring_names, self._rings)
+        ]
+        self._ring_size_arrays: list[np.ndarray] = []
+        for rings in self._rings:
+            sizes = np.asarray([len(r) for r in rings], dtype=np.int64)
+            sizes.setflags(write=False)
+            self._ring_size_arrays.append(sizes)
 
     @property
     def n_peers(self) -> int:
@@ -188,24 +200,73 @@ class HierasNetwork(DHTNetwork):
         layer (layer 2 first) — i.e. its landmark orders, measured by
         the caller against the landmark set.
         """
-        node_id = self.space.validate_id(node_id, name="node_id")
-        require(node_id not in self.global_ring, f"id {node_id} already present")
+        return self.add_peers([node_id], [ring_names])[0]
+
+    def add_peers(
+        self, node_ids: list[int], ring_names_per_peer: list[list[str]]
+    ) -> list[int]:
+        """Add several peers in one membership change; returns indices.
+
+        ``ring_names_per_peer[i]`` names peer ``i``'s rings (layer 2
+        first), exactly as :meth:`add_peer` takes them.  Validation and
+        the returned indices match the sequential calls, but every ring
+        of every layer is rebuilt once; a rejected entry leaves the
+        overlay untouched.
+        """
         require(
-            len(ring_names) == self.depth - 1,
-            f"need {self.depth - 1} ring names, got {len(ring_names)}",
+            len(ring_names_per_peer) == len(node_ids),
+            "need one ring-name list per added peer",
         )
-        self._id_of_peer = np.append(self._id_of_peer, np.uint64(node_id))
-        self._alive = np.append(self._alive, True)
+        validated: list[int] = []
+        for node_id, ring_names in zip(node_ids, ring_names_per_peer):
+            node_id = self.space.validate_id(node_id, name="node_id")
+            require(
+                node_id not in self.global_ring and node_id not in validated,
+                f"id {node_id} already present",
+            )
+            require(
+                len(ring_names) == self.depth - 1,
+                f"need {self.depth - 1} ring names, got {len(ring_names)}",
+            )
+            validated.append(node_id)
+        if not validated:
+            return []
+        start = len(self._id_of_peer)
+        self._id_of_peer = np.concatenate(
+            [self._id_of_peer, np.asarray(validated, dtype=np.uint64)]
+        )
+        self._alive = np.concatenate(
+            [self._alive, np.ones(len(validated), dtype=bool)]
+        )
         for k in range(self.depth - 1):
-            self._names[k] = np.append(self._names[k], ring_names[k])
+            self._names[k] = np.append(
+                self._names[k], [names[k] for names in ring_names_per_peer]
+            )
         self._rebuild()
-        return len(self._id_of_peer) - 1
+        return list(range(start, start + len(validated)))
 
     def remove_peer(self, peer: int) -> None:
         """Remove ``peer`` (graceful leave or failure)."""
-        require(bool(self._alive[peer]), f"peer {peer} is not alive")
-        require(self.n_peers > 1, "cannot remove the last peer")
-        self._alive[peer] = False
+        self.remove_peers([peer])
+
+    def remove_peers(self, peers: list[int]) -> None:
+        """Remove several peers in one membership change.
+
+        A sequence of :meth:`remove_peer` calls (same checks, same
+        error messages, in order) with a single rebuild of every layer's
+        rings; validation runs against a scratch copy, so a rejected
+        batch leaves the overlay untouched.
+        """
+        alive = self._alive.copy()
+        live = int(alive.sum())
+        for peer in peers:
+            require(bool(alive[peer]), f"peer {peer} is not alive")
+            require(live > 1, "cannot remove the last peer")
+            alive[peer] = False
+            live -= 1
+        if not peers:
+            return
+        self._alive = alive
         self._rebuild()
 
     def revive_peer(self, peer: int) -> None:
@@ -215,8 +276,17 @@ class HierasNetwork(DHTNetwork):
         position on the Internet did not change while it was offline);
         its node id and latency-model index are retained.
         """
-        require(not bool(self._alive[peer]), f"peer {peer} is already alive")
-        self._alive[peer] = True
+        self.revive_peers([peer])
+
+    def revive_peers(self, peers: list[int]) -> None:
+        """Revive several previously-removed peers with one rebuild."""
+        alive = self._alive.copy()
+        for peer in peers:
+            require(not bool(alive[peer]), f"peer {peer} is already alive")
+            alive[peer] = True
+        if not peers:
+            return
+        self._alive = alive
         self._rebuild()
 
     # ------------------------------------------------------------------
@@ -237,13 +307,18 @@ class HierasNetwork(DHTNetwork):
         return str(self._names[layer - 2][peer])
 
     def rings_at_layer(self, layer: int) -> dict[str, SortedRing]:
-        """All rings of one lower layer, keyed by ring name."""
+        """All rings of one lower layer, keyed by ring name.
+
+        The returned mapping is a cache shared by every caller (rebuilt
+        on membership change); treat it as read-only.
+        """
         require(2 <= layer <= self.depth, f"layer must be in [2, {self.depth}]")
-        return dict(zip(self._ring_names[layer - 2], self._rings[layer - 2]))
+        return self._rings_by_name[layer - 2]
 
     def ring_sizes(self, layer: int) -> np.ndarray:
-        """Member counts of the rings at one lower layer."""
-        return np.asarray([len(r) for r in self._rings[layer - 2]], dtype=np.int64)
+        """Member counts of the rings at one lower layer (read-only)."""
+        require(2 <= layer <= self.depth, f"layer must be in [2, {self.depth}]")
+        return self._ring_size_arrays[layer - 2]
 
     def ring_table_host(self, name: str) -> int:
         """Peer storing ring ``name``'s ring table (§3.1)."""

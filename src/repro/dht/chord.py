@@ -99,20 +99,58 @@ class ChordNetwork(DHTNetwork):
 
     def add_peer(self, node_id: int) -> int:
         """Add a peer with ``node_id``; returns its new peer index."""
-        node_id = self.space.validate_id(node_id, name="node_id")
-        require(
-            node_id not in self.ring, f"id {node_id} already present"
+        return self.add_peers([node_id])[0]
+
+    def add_peers(self, node_ids: list[int]) -> list[int]:
+        """Add several peers in one membership change; returns indices.
+
+        Validation (and the resulting indices) match calling
+        :meth:`add_peer` in sequence, but the ring view is rebuilt once
+        — the mutation is all-or-nothing, so a rejected id leaves the
+        overlay untouched.
+        """
+        validated: list[int] = []
+        for node_id in node_ids:
+            node_id = self.space.validate_id(node_id, name="node_id")
+            require(
+                node_id not in self.ring and node_id not in validated,
+                f"id {node_id} already present",
+            )
+            validated.append(node_id)
+        if not validated:
+            return []
+        start = len(self._id_of_peer)
+        self._id_of_peer = np.concatenate(
+            [self._id_of_peer, np.asarray(validated, dtype=np.uint64)]
         )
-        self._id_of_peer = np.append(self._id_of_peer, np.uint64(node_id))
-        self._alive = np.append(self._alive, True)
+        self._alive = np.concatenate(
+            [self._alive, np.ones(len(validated), dtype=bool)]
+        )
         self._rebuild()
-        return len(self._id_of_peer) - 1
+        return list(range(start, start + len(validated)))
 
     def remove_peer(self, peer: int) -> None:
         """Remove ``peer`` from the overlay (graceful leave or failure)."""
-        require(bool(self._alive[peer]), f"peer {peer} is not alive")
-        require(self.n_peers > 1, "cannot remove the last peer")
-        self._alive[peer] = False
+        self.remove_peers([peer])
+
+    def remove_peers(self, peers: list[int]) -> None:
+        """Remove several peers in one membership change.
+
+        Semantically a sequence of :meth:`remove_peer` calls (same
+        checks, same error messages, in order) with a single ring
+        rebuild at the end; validation runs against a scratch copy, so
+        a rejected batch leaves the overlay untouched.
+        """
+        alive = self._alive.copy()
+        live = int(alive.sum())
+        for peer in peers:
+            require(bool(alive[peer]), f"peer {peer} is not alive")
+            require(live > 1, "cannot remove the last peer")
+            alive[peer] = False
+            live -= 1
+        if not peers:
+            return
+        self._alive = alive
         self._rebuild()
 
     def revive_peer(self, peer: int) -> None:
@@ -123,8 +161,17 @@ class ChordNetwork(DHTNetwork):
         revive rather than append; :meth:`add_peer` is for genuinely new
         peers.
         """
-        require(not bool(self._alive[peer]), f"peer {peer} is already alive")
-        self._alive[peer] = True
+        self.revive_peers([peer])
+
+    def revive_peers(self, peers: list[int]) -> None:
+        """Revive several previously-removed peers with one rebuild."""
+        alive = self._alive.copy()
+        for peer in peers:
+            require(not bool(alive[peer]), f"peer {peer} is already alive")
+            alive[peer] = True
+        if not peers:
+            return
+        self._alive = alive
         self._rebuild()
 
     # ------------------------------------------------------------------

@@ -126,14 +126,23 @@ class SortedRing:
             return succ_pos
         # Closest preceding finger: largest i with finger start
         # cur + 2**i inside (cur, key), whose ring successor is still
-        # strictly inside (cur, key).
-        for i in range((d - 1).bit_length() - 1, -1, -1):
-            start = (cur_id + (1 << i)) % size
+        # strictly inside (cur, key).  The start level and the modular
+        # reductions are hoisted out of the loop: ``step <= size / 2``
+        # and ``cur_id < size``, so one conditional subtraction (or
+        # addition for the signed id difference) replaces each ``%``.
+        step = 1 << max((d - 1).bit_length() - 1, 0)
+        while step:
+            start = cur_id + step
+            if start >= size:
+                start -= size
             j = bisect_left(idlist, start)
             fpos = 0 if j == n else j
-            fd = (idlist[fpos] - cur_id) % size
+            fd = idlist[fpos] - cur_id
+            if fd < 0:
+                fd += size
             if 0 < fd < d:
                 return fpos
+            step >>= 1
         return succ_pos  # unreachable: finger i=0 is the successor
 
     def greedy_route(self, start_pos: int, key: int, *, succ_list_r: int = 0) -> list[int]:

@@ -1,0 +1,41 @@
+"""Vectorized batch routing engine: frontier-stepped lookups over numpy.
+
+The scalar routing stacks (``repro.dht.chord``, ``repro.core.hieras``)
+route one lookup at a time with per-hop ``bisect`` calls and Python int
+arithmetic.  This package advances *all in-flight lookups
+simultaneously*, one numpy step per routing hop — the level-synchronous
+frontier trick of vectorized graph engines applied to Chord's greedy
+rule.  Chord's O(log N) hop bound means the frontier loop terminates in
+~log₂N steps regardless of batch size, so per-request interpreter
+overhead disappears from sweep and benchmark wall-clock.
+
+The contract is **bit-identical semantics**: :func:`batch_route`
+produces the same owners, paths, hop counts and latencies (exact float
+equality) as calling ``network.route()`` per request — enforced by the
+property tests in ``tests/test_engine.py`` and relied on by the
+experiment layer, which defaults to the batch engine whenever no span
+tracing is attached (see :func:`supports_batch`).
+"""
+
+from repro.engine.batch import (
+    batch_route,
+    batch_route_chord,
+    batch_route_hieras,
+    replay_spans,
+    scalar_batch_route,
+    supports_batch,
+)
+from repro.engine.kernel import closest_preceding_fingers, route_cohort
+from repro.engine.result import BatchRouteResult
+
+__all__ = [
+    "BatchRouteResult",
+    "batch_route",
+    "batch_route_chord",
+    "batch_route_hieras",
+    "closest_preceding_fingers",
+    "replay_spans",
+    "route_cohort",
+    "scalar_batch_route",
+    "supports_batch",
+]

@@ -1,0 +1,193 @@
+"""The vectorized ring-frontier kernel shared by both batch routers.
+
+One :class:`~repro.dht.ring_array.SortedRing` holds a sorted ``uint64``
+id array; the scalar routing rule (``next_hop`` / ``greedy_route`` /
+``predecessor_route``) walks it one lookup at a time.  This module runs
+the *same* rule over a whole cohort of lookups at once: every frontier
+step computes, for all still-active lanes, the final-hop test and the
+closest-preceding-finger choice with masked ``np.searchsorted`` calls —
+iterating finger bit levels high→low across the batch and settling
+lanes as their finger is found, exactly mirroring the scalar loop
+``for i in range((d - 1).bit_length() - 1, -1, -1)``.
+
+Equivalence is structural, not approximate: each vector operation is
+the batched transcription of one line of the scalar rule, so the hop
+sequences are identical position-for-position (pinned by
+``tests/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.dht.ring_array import SortedRing
+from repro.util.validation import require
+
+__all__ = ["HopSink", "closest_preceding_fingers", "route_cohort"]
+
+#: Per-step callback: ``sink(lanes, prev_pos, next_pos)`` receives the
+#: cohort-relative indices of the lanes that moved this frontier step
+#: and their old/new ring positions.  Called once per step, so hop
+#: accounting (latency, paths, per-layer counters) stays bulk.
+HopSink = Callable[
+    [npt.NDArray[np.int64], npt.NDArray[np.int64], npt.NDArray[np.int64]], None
+]
+
+
+def closest_preceding_fingers(
+    ids: npt.NDArray[np.uint64],
+    size_mask: np.uint64,
+    cur_id: npt.NDArray[np.uint64],
+    d: npt.NDArray[np.uint64],
+    fallback: npt.NDArray[np.int64],
+) -> npt.NDArray[np.int64]:
+    """Vectorized closest-preceding-finger choice for one frontier step.
+
+    For every lane: the highest finger level ``i`` whose start
+    ``cur + 2**i`` has a ring successor strictly inside ``(cur, key)``
+    wins — the batched transcription of ``SortedRing.next_hop``'s
+    finger loop.  Lanes participate at level ``i`` iff ``d > 2**i``
+    (equivalent to the scalar start level ``(d - 1).bit_length() - 1``);
+    lanes with no winning finger fall back to ``fallback`` (their ring
+    successor), matching the scalar loop's unreachable tail.
+
+    All distances are clockwise id distances mod ``2**bits``; because
+    the id space is a power of two, ``uint64`` wraparound followed by
+    ``& size_mask`` computes them exactly.
+    """
+    n = len(ids)
+    nxt = fallback.copy()
+    unsettled = np.ones(len(d), dtype=bool)
+    zero = np.uint64(0)
+    top = (int(d.max()) - 1).bit_length() - 1 if len(d) else -1
+    for i in range(top, -1, -1):
+        step = np.uint64(1 << i)
+        lvl = np.flatnonzero(unsettled & (d > step))
+        if lvl.size == 0:
+            continue
+        start = (cur_id[lvl] + step) & size_mask
+        j = np.searchsorted(ids, start, side="left").astype(np.int64)
+        j[j == n] = 0
+        fd = (ids[j] - cur_id[lvl]) & size_mask
+        ok = (fd > zero) & (fd < d[lvl])
+        if ok.any():
+            sel = lvl[ok]
+            nxt[sel] = j[ok]
+            unsettled[sel] = False
+            if not unsettled.any():
+                break
+    return nxt
+
+
+def route_cohort(
+    ring: SortedRing,
+    start_pos: npt.NDArray[np.int64],
+    keys: npt.NDArray[np.uint64],
+    *,
+    to_owner: bool,
+    succ_list_r: int = 0,
+    sink: HopSink | None = None,
+) -> npt.NDArray[np.int64]:
+    """Advance a cohort of lookups through one ring to completion.
+
+    ``to_owner=True`` runs Chord's greedy rule to the key's ring
+    successor (``SortedRing.greedy_route``); ``to_owner=False`` stops at
+    the key's ring *predecessor* without taking the final hop
+    (``SortedRing.predecessor_route`` — each HIERAS lower-layer loop).
+    ``succ_list_r`` enables the §3.2 successor-list shortcut with the
+    same semantics as the scalar methods.
+
+    Returns the final ring position per lane.  ``sink`` is invoked once
+    per frontier step with the lanes that moved; lanes settle out of the
+    frontier as they reach their stop condition, so the loop runs
+    ``max(per-lane hops)`` — not ``sum`` — steps.
+    """
+    cur = np.ascontiguousarray(start_pos, dtype=np.int64).copy()
+    n_lanes = len(cur)
+    if n_lanes == 0:
+        return cur
+    require(len(keys) == n_lanes, "start_pos and keys must align")
+    ids = ring.ids
+    n = len(ring)
+    size_mask = np.uint64(ring.space.size - 1)
+    zero = np.uint64(0)
+
+    owner = np.searchsorted(ids, keys, side="left").astype(np.int64)
+    owner[owner == n] = 0
+    if not to_owner and n == 1:
+        # A single-member ring owns every key; the scalar loop returns
+        # the start immediately.
+        return cur
+    active = cur != owner
+    pred = (owner - 1) % n  # predecessor-stop target (pred mode only)
+
+    # Safety bound: greedy Chord takes at most ~bits finger hops plus a
+    # successor walk; anything past n + bits steps is a kernel bug.
+    max_steps = n + ring.space.bits + 2
+    for _ in range(max_steps):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            return cur
+        cp = cur[idx]
+        cur_id = ids[cp]
+        d = (keys[idx] - cur_id) & size_mask
+        succ = cp + 1
+        succ[succ == n] = 0
+        dsucc = (ids[succ] - cur_id) & size_mask
+        if not to_owner:
+            # Predecessor-stop checks, taken before any hop: sitting on
+            # the key, or key in (cur, successor] — cur is the ring
+            # predecessor and this layer's loop ends.
+            stop = (d == zero) | (d <= dsucc)
+            if stop.any():
+                active[idx[stop]] = False
+                go = ~stop
+                idx = idx[go]
+                if idx.size == 0:
+                    continue
+                cp = cp[go]
+                cur_id = cur_id[go]
+                d = d[go]
+                succ = succ[go]
+                dsucc = dsucc[go]
+            target = pred[idx]
+        else:
+            target = owner[idx]
+
+        m = idx.size
+        nxt = np.empty(m, dtype=np.int64)
+        rest = np.ones(m, dtype=bool)
+        if succ_list_r > 0:
+            # §3.2 successor-list shortcut: jump straight to the target
+            # (owner / predecessor) when it is within r clockwise slots.
+            gap = (target - cp) % n
+            short = (gap > 0) & (gap <= succ_list_r)
+            nxt[short] = target[short]
+            rest &= ~short
+        else:
+            short = np.zeros(m, dtype=bool)
+        if to_owner:
+            # Final-hop rule: key in (cur, successor] → successor.
+            fh = rest & (d <= dsucc)
+            nxt[fh] = succ[fh]
+            rest &= ~fh
+        if rest.any():
+            ri = np.flatnonzero(rest)
+            nxt[ri] = closest_preceding_fingers(
+                ids, size_mask, cur_id[ri], d[ri], succ[ri]
+            )
+        if sink is not None:
+            sink(idx, cp, nxt)
+        cur[idx] = nxt
+        if to_owner:
+            active[idx] = nxt != owner[idx]
+        elif succ_list_r > 0:
+            # Shortcut lanes landed exactly on the predecessor: done.
+            # Finger lanes are re-examined by next step's stop checks.
+            active[idx[short]] = False
+    raise RuntimeError(
+        f"frontier did not settle within {max_steps} steps (kernel bug)"
+    )

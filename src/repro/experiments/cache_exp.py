@@ -30,7 +30,10 @@ import json
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.cache import CachedNetwork, CachePolicy
+from repro.engine import batch_route, supports_batch
 from repro.experiments.config import SimConfig
 from repro.experiments.runner import SimulationBundle, build_bundle
 from repro.faults import FaultInjector, FaultPlan
@@ -86,6 +89,7 @@ def run_cache_cell(
     policy: CachePolicy,
     churn_fraction: float = 0.0,
     seed: int = 0,
+    engine: str = "batch",
 ) -> dict[str, float]:
     """Replay one trace through one cached stack; returns cell metrics.
 
@@ -97,9 +101,23 @@ def run_cache_cell(
     loop to ``route_cached_lossy`` — cached entries pointing at crashed
     owners are then evicted on failed contact and lookups fall back to
     failure-aware routing.
+
+    ``engine="batch"`` accelerates only the uncached baselines
+    (``capacity=0``, no churn): with no cache state every lookup is an
+    independent miss, so the cell reduces to one vectorized
+    :func:`~repro.engine.batch_route` call plus the same accounting.
+    Cells with an actual cache (or churn) stay on the scalar loop —
+    their per-request cache/fault state is inherently sequential.
     """
     inner = bundle.chord if stack == "chord" else bundle.hieras
     net = CachedNetwork(inner, policy)
+    if (
+        engine == "batch"
+        and policy.capacity == 0
+        and churn_fraction == 0.0
+        and supports_batch(inner)
+    ):
+        return _run_uncached_cell_batch(net, trace)
     n_requests = len(trace)
     injector: FaultInjector | None = None
     if churn_fraction > 0.0:
@@ -145,6 +163,44 @@ def run_cache_cell(
     }
 
 
+def _run_uncached_cell_batch(
+    net: CachedNetwork, trace: RequestTrace
+) -> dict[str, float]:
+    """The ``capacity=0`` fault-free cell through the batch engine.
+
+    With capacity 0 every ``route_cached`` call is a miss over the inner
+    network and nothing is ever inserted, so the scalar loop's per-cell
+    metrics collapse to pure functions of the batch result.  The float
+    accumulations replay the scalar loop's left-to-right ``+=`` order so
+    the returned dict is bit-identical (pinned by ``tests/test_engine.py``).
+    """
+    result = batch_route(net.inner, trace.sources, trace.keys)
+    n = len(trace)
+    total_hops = int(result.hops.sum())
+    total_link_ms = 0.0
+    for lat in result.latency_ms.tolist():
+        total_link_ms += lat
+    # total_latency_ms adds a zero retry term per request; x + 0.0 == x
+    # for the non-negative link latencies, so the sum is the same value.
+    net.stats.lookups = n
+    net.stats.misses = n
+    served = np.bincount(result.owner)
+    for peer in np.flatnonzero(served).tolist():
+        net._served[int(peer)] = int(served[peer])
+    load = net.load_summary()
+    return {
+        "attempted": float(n),
+        "skipped_dead_source": 0.0,
+        "success_rate": n / n if n else 0.0,
+        "mean_hops": total_hops / n if n else 0.0,
+        "mean_link_latency_ms": total_link_ms / n if n else 0.0,
+        "mean_total_latency_ms": total_link_ms / n if n else 0.0,
+        "timeouts_per_lookup": 0 / n if n else 0.0,
+        **{f"cache_{k}": v for k, v in net.stats.as_dict().items()},
+        **{f"load_{k}": v for k, v in load.items()},
+    }
+
+
 def _reduction(base: dict[str, float], cell: dict[str, float], key: str) -> float:
     """Percent reduction of ``key`` vs the uncached baseline cell."""
     if not base[key]:
@@ -162,13 +218,17 @@ def run_bench_cache(
     capacities: tuple[int, ...] = (4, 16, 64),
     exponents: tuple[float, ...] = (0.7, 0.95, 1.2),
     churn_fraction: float = 0.15,
+    engine: str = "batch",
 ) -> dict[str, object]:
     """Run the full sweep once; returns the BENCH_cache document.
 
     Sweep shape (per stack): every exponent × capacity fault-free, plus
     — at the headline exponent — the churn cells and one TTL+LRU cell.
     Each (exponent, stack) group carries its own ``capacity=0`` baseline
-    replaying the identical trace, so reductions are paired.
+    replaying the identical trace, so reductions are paired.  ``engine``
+    selects the routing engine for the uncached baselines (see
+    :func:`run_cache_cell`); the ``metrics`` section is bit-identical
+    either way.
     """
     if n_peers is None:
         n_peers = 4000 if full else 1000
@@ -227,7 +287,9 @@ def run_bench_cache(
                     catalog_size=catalog_size, zipf_exponent=exponent,
                 )
                 off = CachePolicy(capacity=0)
-                base = run_cache_cell(bundle, trace, stack=stack, policy=off)
+                base = run_cache_cell(
+                    bundle, trace, stack=stack, policy=off, engine=engine
+                )
                 cells.append(cell_row(stack, exponent, off, base))
                 for capacity in capacities:
                     policy = CachePolicy(capacity=capacity)
@@ -302,6 +364,7 @@ def run_bench_cache(
             "churn_fraction": churn_fraction,
             "headline_exponent": HEADLINE_EXPONENT,
             "headline_capacity": HEADLINE_CAPACITY,
+            "engine": engine,
         },
         "phases": phases,
         "metrics": {"cells": cells, "headline": headline},

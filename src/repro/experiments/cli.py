@@ -22,6 +22,11 @@ Subcommands
     Run the cache-effect sweep (``repro.experiments.cache_exp``) and
     write ``BENCH_cache.json``: Zipf exponent × cache capacity × churn
     cells with hop/latency reductions and owner-load concentration.
+``batch-bench``
+    Benchmark the vectorized batch routing engine against the scalar
+    loop (``repro.experiments.batchbench``) and write
+    ``BENCH_batchroute.json``: lookups/sec and speedup per (stack, N)
+    plus deterministic engines-agree equality bits.
 
 ``run`` additionally drops one ``metrics_<id>.json`` artifact per
 experiment (structured result data; directory overridable via
@@ -126,6 +131,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         depths=_parse_ints(args.depths),
         seeds=_parse_ints(args.seeds),
         n_requests=args.requests,
+        engine=args.engine,
     )
     print(f"sweeping {spec.n_cells} cells...")
     rows = run_sweep(spec, progress=print)
@@ -196,6 +202,24 @@ def _cmd_perf_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.batchbench import run_bench_batchroute, write_bench_batchroute
+
+    full = is_full_scale(True if args.full else None)
+    doc = run_bench_batchroute(full=full, seed=args.seed)
+    path = write_bench_batchroute(doc, args.out)
+    for name, cell in doc["metrics"]["cells"].items():
+        phase = doc["phases"][name]
+        agree = "ok" if cell["engines_agree"] else "MISMATCH"
+        print(
+            f"  {name:<14} scalar {phase['scalar_lookups_per_s']:>9.0f}/s  "
+            f"batch {phase['batch_lookups_per_s']:>10.0f}/s  "
+            f"speedup {phase['speedup']:5.1f}x  engines {agree}"
+        )
+    print(f"wrote {path}")
+    return 0 if all(c["engines_agree"] for c in doc["metrics"]["cells"].values()) else 1
+
+
 def _cmd_cache_bench(args: argparse.Namespace) -> int:
     from repro.experiments.cache_exp import run_bench_cache, write_bench_cache
 
@@ -236,6 +260,10 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--depths", default="2", help="comma list of depths (2-4)")
     sweep.add_argument("--seeds", default="42", help="comma list of seeds")
     sweep.add_argument("--requests", type=int, default=10_000, help="requests per cell")
+    sweep.add_argument(
+        "--engine", default="batch", choices=("batch", "scalar"),
+        help="routing engine per cell (results are bit-identical; default batch)",
+    )
     sweep.add_argument("--out", default=None, help="write rows to this CSV path")
     sweep.set_defaults(func=_cmd_sweep)
     report = sub.add_parser("report", help="run everything, write a markdown report")
@@ -263,6 +291,17 @@ def main(argv: list[str] | None = None) -> int:
     cache.add_argument("--full", action="store_true", help="paper-scale parameters")
     cache.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
     cache.set_defaults(func=_cmd_cache_bench)
+    batch = sub.add_parser(
+        "batch-bench",
+        help="benchmark batch vs scalar routing, write BENCH_batchroute.json",
+    )
+    batch.add_argument(
+        "--out", default="BENCH_batchroute.json",
+        help="output path (default BENCH_batchroute.json)",
+    )
+    batch.add_argument("--full", action="store_true", help="paper-scale parameters")
+    batch.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
+    batch.set_defaults(func=_cmd_batch_bench)
     args = parser.parse_args(argv)
     return int(args.func(args))
 

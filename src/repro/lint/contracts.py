@@ -40,7 +40,9 @@ class MetricsGuardChecker(Checker):
     alias = "metrics-guard"
 
     def applies(self, ctx: LintContext) -> bool:
-        return ctx.in_package("repro.dht", "repro.sim", "repro.cache")
+        return ctx.in_package(
+            "repro.dht", "repro.sim", "repro.cache", "repro.engine"
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -112,7 +112,7 @@ class WallClockChecker(Checker):
     def applies(self, ctx: LintContext) -> bool:
         return ctx.in_package(
             "repro.sim", "repro.core", "repro.dht", "repro.faults",
-            "repro.experiments", "repro.cache",
+            "repro.experiments", "repro.cache", "repro.engine",
         )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
@@ -183,6 +183,7 @@ class UnsortedIterationChecker(Checker):
         return ctx.in_package(
             "repro.sim", "repro.core", "repro.dht", "repro.faults",
             "repro.topology", "repro.metrics", "repro.util", "repro.cache",
+            "repro.engine",
         )
 
     # -- set-typed local tracking --------------------------------------

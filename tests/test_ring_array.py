@@ -202,3 +202,66 @@ class TestFingerTable:
         assert by_start[153] == 158
         assert by_start[185] == 192
         assert by_start[249] == 253
+
+
+class TestEdgeGeometry:
+    """Wraparound and degenerate-ring corners the batch engine leans on."""
+
+    def test_arc_members_wraps_past_zero(self):
+        ring = make_ring([10, 20, 200, 250])
+        # (240, 15] crosses the origin: takes 250 then wraps to 10.
+        assert ring.arc_members(240, 15).tolist() == [3, 0]
+        # (250, 10] is exactly the wrap gap with one member.
+        assert ring.arc_members(250, 10).tolist() == [0]
+
+    def test_arc_members_full_circle_and_empty(self):
+        ring = make_ring([10, 20, 200, 250])
+        # (x, x] clockwise covers the whole ring.
+        assert sorted(ring.arc_members(20, 20).tolist()) == [0, 1, 2, 3]
+        # An arc strictly between two members holds nobody.
+        assert ring.arc_members(21, 199).tolist() == []
+        # Half-open: lo excluded, hi included.
+        assert ring.arc_members(10, 20).tolist() == [1]
+
+    def test_arc_members_reduces_args_mod_size(self):
+        ring = make_ring([10, 20, 200, 250])
+        assert ring.arc_members(240 + 256, 15 + 512).tolist() == [3, 0]
+
+    def test_successor_list_caps_at_ring_size(self):
+        ring = make_ring([10, 20, 30])
+        for r in (2, 3, 7, 1000):
+            got = ring.successor_list(0, r)
+            assert got == [1, 2][: min(r, 2)]
+        assert ring.successor_list(2, 1000) == [0, 1]  # wraps, excludes self
+
+    def test_single_member_ring(self):
+        ring = make_ring([42])
+        assert ring.successor_pos(0) == 0
+        assert ring.successor_pos(42) == 0
+        assert ring.successor_of_pos(0) == 0
+        assert ring.predecessor_of_pos(0) == 0
+        assert ring.successor_list(0, 5) == []
+        # Every key routes to the sole member in zero hops beyond start.
+        for key in (0, 41, 42, 43, 255):
+            assert ring.greedy_route(0, key) == [0]
+            assert ring.next_hop(0, key) == 0
+        assert sorted(ring.arc_members(42, 42).tolist()) == [0]
+
+    def test_key_equal_to_member_id(self):
+        ring = make_ring([10, 20, 30, 40])
+        # Exact hit owns itself: distance 0, no successor handoff.
+        assert ring.successor_pos(30) == 2
+        assert ring.next_hop(2, 30) == 2
+        path = ring.greedy_route(0, 30)
+        assert path[-1] == 2
+        # Predecessor routing stops strictly before the exact owner
+        # unless the start already owns the key.
+        assert ring.predecessor_route(2, 30) == [2]
+
+    def test_two_member_ring_routes_both_ways(self):
+        ring = make_ring([0, 128])
+        assert ring.greedy_route(0, 128) == [0, 1]
+        assert ring.greedy_route(1, 128) == [1]
+        assert ring.greedy_route(1, 1) == [1]  # successor of 1 is 128
+        assert ring.greedy_route(1, 0) == [1, 0]
+        assert ring.next_hop(0, 200) == 1
