@@ -1,0 +1,20 @@
+"""Benchmark: durability under churn (repro.replication end to end).
+
+Delegates to the registered ``durability`` experiment: replication
+factor × churn × {chain, quorum} × {successor, ring_scoped} cells over
+both stacks, replaying the two-wave crash/rejoin scenario against a
+:class:`~repro.replication.store.ReplicatedStore` per cell.  Fails if
+any shape check diverges — replication must eliminate the replicas=0
+loss, quorum must out-survive chain under the same faults, hinted
+handoff must cut loss vs handoff-disabled, and HIERAS ring-scoped
+placement must write cheaper without hurting durability.  The same
+document is written as ``BENCH_durability.json`` by
+``python -m repro.experiments durability-bench``.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_durability(benchmark):
+    """Churn sweep: loss probability, staleness, handoff traffic."""
+    run_experiment_benchmark(benchmark, "durability")

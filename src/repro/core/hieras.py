@@ -268,6 +268,7 @@ class HierasNetwork(DHTNetwork):
             return
         self._alive = alive
         self._rebuild()
+        self._notify_removed(peers)
 
     def revive_peer(self, peer: int) -> None:
         """Bring a removed peer back under its old index and ring names.
@@ -288,6 +289,7 @@ class HierasNetwork(DHTNetwork):
             return
         self._alive = alive
         self._rebuild()
+        self._notify_revived(peers)
 
     # ------------------------------------------------------------------
     # ring accessors
@@ -323,6 +325,21 @@ class HierasNetwork(DHTNetwork):
     def ring_table_host(self, name: str) -> int:
         """Peer storing ring ``name``'s ring table (§3.1)."""
         return self.directory.host_of(name, self.global_ring.ids, self.global_ring.peers)
+
+    def ring_successor_list(self, peer: int, r: int) -> list[int]:
+        """Successors of ``peer`` inside its **lowest-layer** ring.
+
+        The replication layer's ``ring_scoped`` placement asks exactly
+        this question: which nearby nodes — nearby by landmark order,
+        i.e. members of ``peer``'s layer-``depth`` ring — come next on
+        that ring's id circle?  The list wraps, excludes ``peer``
+        itself, and is capped at the ring's size minus one; callers pad
+        from the global ring when they need more copies than the ring
+        can hold.
+        """
+        ring = self.ring_of(peer, self.depth)
+        pos = int(self._pos_in_ring[self.depth - 2, peer])
+        return [int(ring.peers[p]) for p in ring.successor_list(pos, r)]
 
     # ------------------------------------------------------------------
     # routing (§3.2)

@@ -8,14 +8,29 @@ analysis and experiment layers are substrate-agnostic.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.metrics.spans import HopRecord, LookupSpan, SpanRecorder
 from repro.topology.base import LatencyModel
 
-__all__ = ["RouteResult", "DHTNetwork", "ZeroLatency"]
+__all__ = ["RouteResult", "DHTNetwork", "StorageListener", "ZeroLatency"]
+
+
+@runtime_checkable
+class StorageListener(Protocol):
+    """Storage layer notified when a network's membership changes.
+
+    ``drop_peer_state`` is called for every peer of a ``remove_peers``
+    wave (the departed peer's disk is gone with it); listeners that also
+    define ``on_revive(peers)`` hear about ``revive_peers`` waves — the
+    replication layer replays hinted-handoff queues there.
+    """
+
+    def drop_peer_state(self, peer: int) -> None: ...
 
 
 class ZeroLatency(LatencyModel):
@@ -121,6 +136,42 @@ class DHTNetwork(ABC):
 
     #: Per-lookup span recorder; ``None`` disables collection entirely.
     metrics: SpanRecorder | None = None
+
+    #: Storage layers notified on membership waves (see attach_store).
+    _stores: tuple[StorageListener, ...] = ()
+
+    # ------------------------------------------------------------------
+    # storage attachment
+    # ------------------------------------------------------------------
+    def attach_store(self, store: StorageListener) -> StorageListener:
+        """Subscribe a storage layer to membership waves.
+
+        After attachment, every ``remove_peers`` wave calls the store's
+        ``drop_peer_state`` for each departed peer (its disk leaves with
+        it), and every ``revive_peers`` wave calls ``on_revive`` when
+        the store defines it — callers no longer have to remember to
+        mirror membership into storage per peer.
+        """
+        self._stores = (*self._stores, store)
+        return store
+
+    def detach_store(self, store: StorageListener) -> None:
+        """Unsubscribe a previously-attached storage layer."""
+        self._stores = tuple(s for s in self._stores if s is not store)
+
+    def _notify_removed(self, peers: Iterable[int]) -> None:
+        """Fan a remove wave out to attached stores (disks are gone)."""
+        for store in self._stores:
+            for peer in peers:
+                store.drop_peer_state(int(peer))
+
+    def _notify_revived(self, peers: Iterable[int]) -> None:
+        """Fan a revive wave out to stores that listen for rejoins."""
+        peer_list = [int(p) for p in peers]
+        for store in self._stores:
+            on_revive = getattr(store, "on_revive", None)
+            if on_revive is not None:
+                on_revive(peer_list)
 
     # ------------------------------------------------------------------
     # observability

@@ -152,6 +152,7 @@ class ChordNetwork(DHTNetwork):
             return
         self._alive = alive
         self._rebuild()
+        self._notify_removed(peers)
 
     def revive_peer(self, peer: int) -> None:
         """Bring a previously-removed peer back under its old index.
@@ -173,6 +174,7 @@ class ChordNetwork(DHTNetwork):
             return
         self._alive = alive
         self._rebuild()
+        self._notify_revived(peers)
 
     # ------------------------------------------------------------------
     # routing
@@ -272,3 +274,14 @@ class ChordNetwork(DHTNetwork):
             int(self.ring.peers[p])
             for p in self.ring.successor_list(int(self._pos_of_peer[peer]), r)
         ]
+
+    def ring_successor_list(self, peer: int, r: int) -> list[int]:
+        """Successors of ``peer`` inside its lowest ring.
+
+        Flat Chord has exactly one ring, so this is
+        :meth:`successor_list` — the degenerate case of the HIERAS
+        ring-scoped query the replication layer's ``ring_scoped``
+        placement issues.  Keeping the method on both stacks lets
+        placement code stay substrate-agnostic.
+        """
+        return self.successor_list(peer, r)

@@ -10,8 +10,10 @@ the standard Chord/CFS data discipline the paper inherits "for free"
 from its underlying algorithm (§3.2's third advantage).
 
 The store works against the trace-driven stacks; it is deliberately
-synchronous (no message loss) — the protocol-level durability story is
-exercised by the churn benchmark instead.
+synchronous (no message loss) — the fault-aware discipline (per-replica
+``route_lossy`` contacts, chain/quorum consistency, hinted handoff)
+lives in :mod:`repro.replication`, and the protocol-level durability
+story is exercised by the churn benchmark.
 """
 
 from __future__ import annotations
@@ -80,7 +82,12 @@ class DHTStore:
         owner = self.network.owner_of(key)
         peers = [owner]
         if self.replicas > 0:
-            peers += self._successors_of(owner)
+            # On tiny rings (replicas >= n-1) the successor list wraps
+            # and would re-include the owner, double-counting
+            # replicas_written; dedupe while preserving order.
+            for peer in self._successors_of(owner):
+                if peer not in peers:
+                    peers.append(peer)
         return peers
 
     def _successors_of(self, peer: int) -> list[int]:
@@ -116,17 +123,23 @@ class DHTStore:
         """
         key = self._space().hash_key(name)
         route = self.network.route(source, key)
+        self.stats.gets += 1
+        self.stats.get_hops += route.hops
+        self.stats.get_latency_ms += route.latency_ms
         value = self._stored.get(route.owner, {}).get(key)
         if value is None:
             # Owner lost it (e.g. churn before repair): any replica that
             # the owner's successor list reaches may still hold it.
+            # Each probe is one extra message from the owner — charge a
+            # hop and the link's delay, probed or not answered alike.
             for peer in self._successors_of(route.owner):
+                self.stats.get_hops += 1
+                self.stats.get_latency_ms += float(
+                    self.network.latency.pair(route.owner, peer)
+                )
                 value = self._stored.get(peer, {}).get(key)
                 if value is not None:
                     break
-        self.stats.gets += 1
-        self.stats.get_hops += route.hops
-        self.stats.get_latency_ms += route.latency_ms
         return value, route
 
     # ------------------------------------------------------------------

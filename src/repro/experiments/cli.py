@@ -27,6 +27,11 @@ Subcommands
     loop (``repro.experiments.batchbench``) and write
     ``BENCH_batchroute.json``: lookups/sec and speedup per (stack, N)
     plus deterministic engines-agree equality bits.
+``durability-bench``
+    Run the durability-under-churn sweep (``repro.experiments.durability``)
+    and write ``BENCH_durability.json``: replication factor × churn ×
+    {chain, quorum} × {successor, ring_scoped} cells on both stacks with
+    data-loss probability, read staleness, and hinted-handoff traffic.
 
 ``run`` additionally drops one ``metrics_<id>.json`` artifact per
 experiment (structured result data; directory overridable via
@@ -240,6 +245,32 @@ def _cmd_cache_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_durability_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.durability import run_bench_durability, write_bench_durability
+
+    full = is_full_scale(True if args.full else None)
+    doc = run_bench_durability(full=full, seed=args.seed)
+    path = write_bench_durability(doc, args.out)
+    for name, phase in doc["phases"].items():
+        print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
+    headline = doc["metrics"]["headline"]
+    for stack, pair in headline["handoff_loss"].items():
+        divergence = headline["chain_vs_quorum"][stack]
+        print(
+            f"  {stack:<8} put success chain {divergence['chain_put_success']:.3f} "
+            f"vs quorum {divergence['quorum_put_success']:.3f}  "
+            f"loss handoff-on {pair['on']:.3f} vs off {pair['off']:.3f}"
+        )
+    locality = headline["ring_locality"]["hieras"]
+    print(
+        f"  hieras ring-scoped put latency {locality['ring_scoped_put_latency_ms']:.0f} ms "
+        f"vs successor {locality['successor_put_latency_ms']:.0f} ms "
+        f"(loss {locality['ring_scoped_loss']:.3f} vs {locality['successor_loss']:.3f})"
+    )
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -302,6 +333,17 @@ def main(argv: list[str] | None = None) -> int:
     batch.add_argument("--full", action="store_true", help="paper-scale parameters")
     batch.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
     batch.set_defaults(func=_cmd_batch_bench)
+    durability = sub.add_parser(
+        "durability-bench",
+        help="run the durability-under-churn sweep, write BENCH_durability.json",
+    )
+    durability.add_argument(
+        "--out", default="BENCH_durability.json",
+        help="output path (default BENCH_durability.json)",
+    )
+    durability.add_argument("--full", action="store_true", help="paper-scale parameters")
+    durability.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
+    durability.set_defaults(func=_cmd_durability_bench)
     args = parser.parse_args(argv)
     return int(args.func(args))
 

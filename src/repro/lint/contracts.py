@@ -3,7 +3,8 @@
 MET001 keeps observability off the hot path: DESIGN.md §7 promises that
 an uninstrumented lookup pays exactly one ``is None`` check, which only
 holds if every registry/span call in ``repro.dht``/``repro.sim``/
-``repro.cache`` sits behind a guard on its receiver.
+``repro.cache``/``repro.replication`` sits behind a guard on its
+receiver.
 
 INT001 keeps modular arithmetic out of inline comparisons: a chained
 ``a < x <= b`` on ring identifiers is wrong whenever the arc wraps zero,
@@ -41,7 +42,8 @@ class MetricsGuardChecker(Checker):
 
     def applies(self, ctx: LintContext) -> bool:
         return ctx.in_package(
-            "repro.dht", "repro.sim", "repro.cache", "repro.engine"
+            "repro.dht", "repro.sim", "repro.cache", "repro.engine",
+            "repro.replication",
         )
 
     # ------------------------------------------------------------------

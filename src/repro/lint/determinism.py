@@ -113,6 +113,7 @@ class WallClockChecker(Checker):
         return ctx.in_package(
             "repro.sim", "repro.core", "repro.dht", "repro.faults",
             "repro.experiments", "repro.cache", "repro.engine",
+            "repro.replication",
         )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
@@ -183,7 +184,7 @@ class UnsortedIterationChecker(Checker):
         return ctx.in_package(
             "repro.sim", "repro.core", "repro.dht", "repro.faults",
             "repro.topology", "repro.metrics", "repro.util", "repro.cache",
-            "repro.engine",
+            "repro.engine", "repro.replication",
         )
 
     # -- set-typed local tracking --------------------------------------

@@ -1,0 +1,649 @@
+"""Fault-aware replicated storage over either trace-driven stack.
+
+:class:`ReplicatedStore` replaces :class:`~repro.dht.storage.DHTStore`'s
+fault-blind discipline: every operation *routes* — ``put``/``get`` reach
+the key's owner via the network's failure-aware ``route_lossy`` under a
+:class:`~repro.faults.injector.FaultInjector` (paying hops, timeouts and
+retry penalties), and then fan out to the replica group one modelled
+contact at a time, each charged through the same injector.  Without an
+injector the store degrades gracefully to the plain ``route`` path with
+always-successful contacts (the deterministic fault-free baseline).
+
+The consistency discipline comes from the frozen
+:class:`~repro.replication.policy.ReplicationPolicy`:
+
+* **chain** — writes propagate owner→successors along the placement
+  order and abort on the first broken link; reads contact the chain
+  tail (an unreachable tail fails the read).
+* **quorum** — writes succeed on ``W`` acks, reads on ``R`` responses;
+  reads return the freshest version seen, detect staleness (responses
+  disagreeing on version) and repair stale replicas in place.
+
+Writes are **versioned** by a store-wide monotonic clock, which is what
+makes staleness observable: a replica that missed an update holds an
+older version, a read comparing versions can both count and fix it.
+**Hinted handoff** (policy knob) queues the ``(key, value, version)``
+a crashed replica missed and replays the queue when the peer rejoins —
+either through a fault-plan ``revive`` event (seen by
+:meth:`ReplicatedStore.advance_to`) or a membership-level
+``revive_peers`` wave (delivered by the network when the store is
+attached via :meth:`~repro.dht.base.DHTNetwork.attach_store`).
+
+Everything is seed-deterministic: contact randomness lives in the
+injector's seeded stream, iteration over store state is sorted, and no
+wall clock is consulted.  Observability follows the DESIGN.md §7
+contract — with no recorder attached every operation pays ``is None``
+checks only; with one attached the routing layer emits spans as usual
+and the store counts guarded ``replication.*`` registry events, while
+the per-op :class:`ReplicaContact` records are always returned on the
+result objects (plain dataclass appends, no registry involved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dht.base import RouteResult
+from repro.faults.injector import FaultInjector, LossyContext
+from repro.metrics.spans import SpanRecorder
+from repro.replication.placement import replica_group
+from repro.replication.policy import ReplicationPolicy
+
+__all__ = [
+    "GetResult",
+    "PutResult",
+    "ReplicaContact",
+    "ReplicatedStore",
+    "ReplicationStats",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaContact:
+    """One modelled contact of a replica during a put/get.
+
+    ``role`` is ``"chain"`` / ``"write"`` / ``"read"`` / ``"tail"``;
+    local writes/reads at the coordinator itself appear with
+    ``peer == src`` and zero cost (no message crossed the network).
+    """
+
+    src: int
+    peer: int
+    role: str
+    ok: bool
+    timeouts: int
+    retry_latency_ms: float
+    link_latency_ms: float
+
+
+@dataclass
+class ReplicationStats:
+    """Always-on operation counters (plain integer adds)."""
+
+    puts: int = 0
+    put_successes: int = 0
+    routed_put_failures: int = 0
+    chain_aborts: int = 0
+    gets: int = 0
+    get_successes: int = 0
+    routed_get_failures: int = 0
+    stale_reads: int = 0
+    read_repairs: int = 0
+    lost_reads: int = 0
+    replicas_written: int = 0
+    replica_contacts: int = 0
+    contact_failures: int = 0
+    hints_queued: int = 0
+    hints_replayed: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Stable JSON-safe dump (used by BENCH_durability)."""
+        return {
+            "puts": float(self.puts),
+            "put_successes": float(self.put_successes),
+            "routed_put_failures": float(self.routed_put_failures),
+            "chain_aborts": float(self.chain_aborts),
+            "gets": float(self.gets),
+            "get_successes": float(self.get_successes),
+            "routed_get_failures": float(self.routed_get_failures),
+            "stale_reads": float(self.stale_reads),
+            "read_repairs": float(self.read_repairs),
+            "lost_reads": float(self.lost_reads),
+            "replicas_written": float(self.replicas_written),
+            "replica_contacts": float(self.replica_contacts),
+            "contact_failures": float(self.contact_failures),
+            "hints_queued": float(self.hints_queued),
+            "hints_replayed": float(self.hints_replayed),
+        }
+
+
+@dataclass
+class PutResult:
+    """Outcome of one replicated write."""
+
+    key: int
+    version: int
+    success: bool
+    aborted: bool = False
+    acks: int = 0
+    route: RouteResult | None = None
+    contacts: list[ReplicaContact] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        """Routing hops plus successful replica-fan-out messages."""
+        routed = self.route.hops if self.route is not None else 0
+        return routed + sum(1 for c in self.contacts if c.ok and c.peer != c.src)
+
+    @property
+    def latency_ms(self) -> float:
+        """Link delays: the routed path plus each replica contact."""
+        routed = self.route.latency_ms if self.route is not None else 0.0
+        return routed + sum(c.link_latency_ms for c in self.contacts)
+
+    @property
+    def retry_latency_ms(self) -> float:
+        routed = self.route.retry_latency_ms if self.route is not None else 0.0
+        return routed + sum(c.retry_latency_ms for c in self.contacts)
+
+    @property
+    def timeouts(self) -> int:
+        routed = self.route.timeouts if self.route is not None else 0
+        return routed + sum(c.timeouts for c in self.contacts)
+
+    @property
+    def total_latency_ms(self) -> float:
+        """Link delays plus timeout penalties — the user-visible wait."""
+        return self.latency_ms + self.retry_latency_ms
+
+
+@dataclass
+class GetResult:
+    """Outcome of one replicated read."""
+
+    key: int
+    value: Any
+    success: bool
+    version: int = -1
+    stale: bool = False
+    repaired: int = 0
+    lost: bool = False
+    route: RouteResult | None = None
+    contacts: list[ReplicaContact] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        routed = self.route.hops if self.route is not None else 0
+        return routed + sum(1 for c in self.contacts if c.ok and c.peer != c.src)
+
+    @property
+    def latency_ms(self) -> float:
+        routed = self.route.latency_ms if self.route is not None else 0.0
+        return routed + sum(c.link_latency_ms for c in self.contacts)
+
+    @property
+    def retry_latency_ms(self) -> float:
+        routed = self.route.retry_latency_ms if self.route is not None else 0.0
+        return routed + sum(c.retry_latency_ms for c in self.contacts)
+
+    @property
+    def timeouts(self) -> int:
+        routed = self.route.timeouts if self.route is not None else 0
+        return routed + sum(c.timeouts for c in self.contacts)
+
+    @property
+    def total_latency_ms(self) -> float:
+        return self.latency_ms + self.retry_latency_ms
+
+
+class ReplicatedStore:
+    """Replicated KV storage with explicit fault handling.
+
+    Parameters
+    ----------
+    network:
+        A :class:`~repro.dht.chord.ChordNetwork` or
+        :class:`~repro.core.hieras.HierasNetwork` (anything with
+        ``owner_of``/``route``/``route_lossy``/``ring_successor_list``
+        and stable peer indices).
+    policy:
+        Frozen :class:`~repro.replication.policy.ReplicationPolicy`.
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; when
+        set, routing uses ``route_lossy`` and every replica contact may
+        time out.  ``None`` is the fault-free deterministic baseline.
+
+    Attach the store to its network
+    (``network.attach_store(store)``) to have membership waves mirrored
+    automatically: ``remove_peers`` drops departed disks,
+    ``revive_peers`` replays hinted-handoff queues.
+    """
+
+    def __init__(
+        self,
+        network: Any,
+        policy: ReplicationPolicy,
+        *,
+        injector: FaultInjector | None = None,
+    ) -> None:
+        self.network = network
+        self.policy = policy
+        self.injector = injector
+        #: Per-peer disk: peer -> {key -> (value, version)}.
+        self._stored: dict[int, dict[int, tuple[Any, int]]] = {}
+        #: Latest published value / version per key (audit ground truth).
+        self._catalog: dict[int, Any] = {}
+        self._latest: dict[int, int] = {}
+        #: Hinted handoff: crashed target -> missed (key, value, version).
+        self._hints: dict[int, list[tuple[int, Any, int]]] = {}
+        self._version_clock = 0
+        self.stats = ReplicationStats()
+        self.metrics: SpanRecorder | None = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def enable_tracing(self, recorder: SpanRecorder) -> SpanRecorder:
+        """Attach a recorder: ``replication.*`` registry counters fire."""
+        self.metrics = recorder
+        return recorder
+
+    def disable_tracing(self) -> None:
+        """Detach the recorder — back to the zero-cost path."""
+        self.metrics = None
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Registry-side counter (no-op without a recorder)."""
+        if self.metrics is not None:
+            self.metrics.registry.inc(name, n)
+
+    # ------------------------------------------------------------------
+    # clock / membership
+    # ------------------------------------------------------------------
+    def advance_to(self, t_ms: float) -> None:
+        """Advance the fault clock; revive events replay hint queues."""
+        if self.injector is None:
+            return
+        for event in self.injector.advance_to(t_ms):
+            if event.kind == "revive":
+                self.on_revive([int(p) for p in event.peers])
+
+    def on_revive(self, peers: list[int]) -> None:
+        """Replay hinted-handoff queues for rejoined peers.
+
+        Hints are delivered in the order they were queued; a hint never
+        clobbers a newer version the peer already holds (the version
+        check in the local write).  Replays are background transfers —
+        they charge no routed hops or timeouts.
+        """
+        for peer in peers:
+            for key, value, version in self._hints.pop(int(peer), []):
+                self._write_local(int(peer), key, value, version)
+                self.stats.hints_replayed += 1
+                self._count("replication.hints_replayed")
+
+    def drop_peer_state(self, peer: int) -> None:
+        """Forget a departed peer's disk (its storage is gone).
+
+        Hints queued *for* the peer survive on purpose: they are held by
+        other nodes on its behalf (Dynamo-style), so losing its disk
+        doesn't destroy them — they replay if the peer ever rejoins.
+        """
+        self._stored.pop(peer, None)
+
+    def _peer_live(self, peer: int) -> bool:
+        """Ground-truth liveness: a member and not currently crashed."""
+        if not bool(self.network.is_alive(peer)):
+            return False
+        return self.injector is None or not self.injector.state.is_dead(peer)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _route(self, source: int, key: int) -> RouteResult:
+        if self.injector is None:
+            result: RouteResult = self.network.route(source, key)
+            return result
+        lossy: RouteResult = self.network.route_lossy(
+            source, key, injector=self.injector
+        )
+        return lossy
+
+    def _link_ms(self, u: int, v: int) -> float:
+        delay = float(self.network.latency.pair(u, v))
+        if self.injector is not None:
+            delay *= self.injector.state.delay_factor
+        return delay
+
+    def _contact(self, src: int, dst: int, ctx: LossyContext) -> bool:
+        """One modelled replica contact (always succeeds fault-free)."""
+        self.stats.replica_contacts += 1
+        if self.injector is None:
+            return True
+        return self.injector.contact(src, dst, ctx)
+
+    def _write_local(self, peer: int, key: int, value: Any, version: int) -> None:
+        """Apply a write at one replica unless it already holds newer."""
+        disk = self._stored.setdefault(peer, {})
+        held = disk.get(key)
+        if held is None or held[1] <= version:
+            disk[key] = (value, version)
+            self.stats.replicas_written += 1
+
+    def _read_local(self, peer: int, key: int) -> tuple[Any, int] | None:
+        return self._stored.get(peer, {}).get(key)
+
+    def _queue_hint(self, peer: int, key: int, value: Any, version: int) -> None:
+        if not self.policy.hinted_handoff:
+            return
+        self._hints.setdefault(peer, []).append((key, value, version))
+        self.stats.hints_queued += 1
+        self._count("replication.hints_queued")
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, source: int, name: str, value: Any) -> PutResult:
+        """Replicated write of ``value`` under ``name`` from ``source``.
+
+        Routes to the key's owner first (failure-aware under an
+        injector); the live peer that answered the lookup coordinates
+        the fan-out prescribed by the policy's consistency mode.  The
+        result carries the route, a per-replica contact record, and the
+        version the write stamped.
+        """
+        key = int(self.network.space.hash_key(name))
+        self._version_clock += 1
+        version = self._version_clock
+        self._catalog[key] = value
+        self._latest[key] = version
+        self.stats.puts += 1
+        self._count("replication.puts")
+        route = self._route(source, key)
+        if not route.success:
+            self.stats.routed_put_failures += 1
+            self._count("replication.routed_put_failures")
+            return PutResult(key=key, version=version, success=False, route=route)
+        group = replica_group(self.network, key, self.policy)
+        coordinator = int(route.owner)
+        if self.policy.consistency == "chain":
+            result = self._chain_write(coordinator, group, key, value, version, route)
+        else:
+            result = self._quorum_write(coordinator, group, key, value, version, route)
+        if result.success:
+            self.stats.put_successes += 1
+        return result
+
+    def _chain_write(
+        self,
+        coordinator: int,
+        group: list[int],
+        key: int,
+        value: Any,
+        version: int,
+        route: RouteResult,
+    ) -> PutResult:
+        """Head→tail propagation; the first broken link aborts the write."""
+        contacts: list[ReplicaContact] = []
+        prev = coordinator
+        acks = 0
+        aborted = False
+        for peer in group:
+            if peer == prev:
+                self._write_local(peer, key, value, version)
+                acks += 1
+                contacts.append(
+                    ReplicaContact(prev, peer, "chain", True, 0, 0.0, 0.0)
+                )
+                continue
+            ctx = LossyContext()
+            ok = self._contact(prev, peer, ctx)
+            contacts.append(
+                ReplicaContact(
+                    prev, peer, "chain", ok, ctx.timeouts, ctx.retry_latency_ms,
+                    self._link_ms(prev, peer) if ok else 0.0,
+                )
+            )
+            if not ok:
+                aborted = True
+                self.stats.contact_failures += 1
+                self.stats.chain_aborts += 1
+                self._count("replication.chain_aborts")
+                self._queue_hint(peer, key, value, version)
+                break
+            self._write_local(peer, key, value, version)
+            acks += 1
+            prev = peer
+        return PutResult(
+            key=key, version=version, success=not aborted, aborted=aborted,
+            acks=acks, route=route, contacts=contacts,
+        )
+
+    def _quorum_write(
+        self,
+        coordinator: int,
+        group: list[int],
+        key: int,
+        value: Any,
+        version: int,
+        route: RouteResult,
+    ) -> PutResult:
+        """Coordinator fan-out; succeeds on ``W`` acks, hints the rest."""
+        contacts: list[ReplicaContact] = []
+        acks = 0
+        for peer in group:
+            if peer == coordinator:
+                self._write_local(peer, key, value, version)
+                acks += 1
+                contacts.append(
+                    ReplicaContact(coordinator, peer, "write", True, 0, 0.0, 0.0)
+                )
+                continue
+            ctx = LossyContext()
+            ok = self._contact(coordinator, peer, ctx)
+            contacts.append(
+                ReplicaContact(
+                    coordinator, peer, "write", ok, ctx.timeouts,
+                    ctx.retry_latency_ms,
+                    self._link_ms(coordinator, peer) if ok else 0.0,
+                )
+            )
+            if ok:
+                self._write_local(peer, key, value, version)
+                acks += 1
+            else:
+                self.stats.contact_failures += 1
+                self._queue_hint(peer, key, value, version)
+        return PutResult(
+            key=key, version=version,
+            success=acks >= self.policy.effective_write_quorum,
+            acks=acks, route=route, contacts=contacts,
+        )
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, source: int, name: str) -> GetResult:
+        """Replicated read of ``name`` from ``source``.
+
+        Chain mode contacts the chain tail (the one node guaranteed to
+        hold every committed write); quorum mode gathers ``R``
+        responses, returns the freshest, and **repairs** stale or
+        missing copies among the responders.  ``lost`` is set when the
+        read completed but no contacted replica held a key the store
+        has published — observable data loss.
+        """
+        key = int(self.network.space.hash_key(name))
+        self.stats.gets += 1
+        self._count("replication.gets")
+        route = self._route(source, key)
+        if not route.success:
+            self.stats.routed_get_failures += 1
+            self._count("replication.routed_get_failures")
+            return GetResult(key=key, value=None, success=False, route=route)
+        group = replica_group(self.network, key, self.policy)
+        coordinator = int(route.owner)
+        if self.policy.consistency == "chain":
+            result = self._chain_read(coordinator, group, key, route)
+        else:
+            result = self._quorum_read(coordinator, group, key, route)
+        if result.success:
+            self.stats.get_successes += 1
+            if result.value is None and key in self._catalog:
+                result.lost = True
+                self.stats.lost_reads += 1
+                self._count("replication.lost_reads")
+        return result
+
+    def _chain_read(
+        self, coordinator: int, group: list[int], key: int, route: RouteResult
+    ) -> GetResult:
+        """Read at the chain tail; an unreachable tail fails the read."""
+        tail = group[-1]
+        contacts: list[ReplicaContact] = []
+        if tail == coordinator:
+            held = self._read_local(tail, key)
+            contacts.append(ReplicaContact(coordinator, tail, "tail", True, 0, 0.0, 0.0))
+        else:
+            ctx = LossyContext()
+            ok = self._contact(coordinator, tail, ctx)
+            contacts.append(
+                ReplicaContact(
+                    coordinator, tail, "tail", ok, ctx.timeouts,
+                    ctx.retry_latency_ms,
+                    self._link_ms(coordinator, tail) if ok else 0.0,
+                )
+            )
+            if not ok:
+                self.stats.contact_failures += 1
+                return GetResult(
+                    key=key, value=None, success=False, route=route,
+                    contacts=contacts,
+                )
+            held = self._read_local(tail, key)
+        value, version = held if held is not None else (None, -1)
+        return GetResult(
+            key=key, value=value, success=True, version=version,
+            route=route, contacts=contacts,
+        )
+
+    def _quorum_read(
+        self, coordinator: int, group: list[int], key: int, route: RouteResult
+    ) -> GetResult:
+        """Gather ``R`` responses; return the freshest, repair the stale."""
+        needed = self.policy.effective_read_quorum
+        contacts: list[ReplicaContact] = []
+        responses: list[tuple[int, tuple[Any, int] | None]] = []
+        for peer in group:
+            if len(responses) >= needed:
+                break
+            if peer == coordinator:
+                responses.append((peer, self._read_local(peer, key)))
+                contacts.append(
+                    ReplicaContact(coordinator, peer, "read", True, 0, 0.0, 0.0)
+                )
+                continue
+            ctx = LossyContext()
+            ok = self._contact(coordinator, peer, ctx)
+            contacts.append(
+                ReplicaContact(
+                    coordinator, peer, "read", ok, ctx.timeouts,
+                    ctx.retry_latency_ms,
+                    self._link_ms(coordinator, peer) if ok else 0.0,
+                )
+            )
+            if ok:
+                responses.append((peer, self._read_local(peer, key)))
+            else:
+                self.stats.contact_failures += 1
+        if len(responses) < needed:
+            return GetResult(
+                key=key, value=None, success=False, route=route, contacts=contacts,
+            )
+        freshest: tuple[Any, int] | None = None
+        for _, held in responses:
+            if held is not None and (freshest is None or held[1] > freshest[1]):
+                freshest = held
+        stale = False
+        repaired = 0
+        if freshest is not None:
+            value, version = freshest
+            for peer, held in responses:
+                if held is None or held[1] < version:
+                    stale = True
+                    self._write_local(peer, key, value, version)
+                    repaired += 1
+                    self.stats.read_repairs += 1
+                    self._count("replication.read_repairs")
+            if stale:
+                self.stats.stale_reads += 1
+                self._count("replication.stale_reads")
+        else:
+            value, version = None, -1
+        return GetResult(
+            key=key, value=value, success=True, version=version, stale=stale,
+            repaired=repaired, route=route, contacts=contacts,
+        )
+
+    # ------------------------------------------------------------------
+    # audit
+    # ------------------------------------------------------------------
+    def loss_audit(self) -> dict[str, float]:
+        """Ground-truth durability census over the whole catalogue.
+
+        A key is **lost** when no live peer holds any version of it,
+        **stale-only** when live copies exist but none carries the
+        latest published version, and **intact** otherwise.  The walk
+        is sorted (keys, then peers) so the audit is deterministic.
+        """
+        lost = stale_only = intact = 0
+        disks = sorted(self._stored.items())
+        for key in sorted(self._catalog):
+            latest = self._latest[key]
+            best = -1
+            for peer, disk in disks:
+                if not self._peer_live(peer):
+                    continue
+                held = disk.get(key)
+                if held is not None and held[1] > best:
+                    best = held[1]
+            if best < 0:
+                lost += 1
+            elif best < latest:
+                stale_only += 1
+            else:
+                intact += 1
+        n = len(self._catalog)
+        return {
+            "keys": float(n),
+            "lost": float(lost),
+            "stale_only": float(stale_only),
+            "intact": float(intact),
+            "loss_probability": lost / n if n else 0.0,
+            "stale_probability": stale_only / n if n else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def holder_count(self, name: str) -> int:
+        """How many peers (live or not) currently hold ``name``."""
+        key = int(self.network.space.hash_key(name))
+        return sum(1 for disk in self._stored.values() if key in disk)
+
+    def stored_keys(self, peer: int) -> set[int]:
+        """Keys currently held by ``peer``."""
+        return set(self._stored.get(peer, {}))
+
+    def pending_hints(self, peer: int) -> int:
+        """Hinted writes queued for a currently-unreachable ``peer``."""
+        return len(self._hints.get(peer, []))
+
+    def version_of(self, name: str) -> int:
+        """Latest published version of ``name`` (-1 if never put)."""
+        key = int(self.network.space.hash_key(name))
+        return self._latest.get(key, -1)
+
+    def __len__(self) -> int:
+        return len(self._catalog)

@@ -220,3 +220,136 @@ class TestRevive:
         net.revive_peer(11)
         assert net.ring_name_of(11, 2) == name
         assert 11 in set(int(p) for p in net.rings_at_layer(2)[name].peers)
+
+
+class TestReplicaFallbackAccounting:
+    """The fallback probes in :meth:`DHTStore.get` must be charged."""
+
+    def make_lossy_store(self, small_networks):
+        net, _ = small_networks  # chord: has a real latency model
+        store = DHTStore(net, replicas=2)
+        key = store.put("file", "data")
+        owner = net.owner_of(key)
+        return net, store, key, owner
+
+    def test_fallback_probes_charge_hops_and_latency(self, small_networks):
+        net, store, key, owner = self.make_lossy_store(small_networks)
+        succs = net.successor_list(owner, 2)
+        store._stored[owner].pop(key)  # the owner lost its copy
+        before_hops = store.stats.get_hops
+        before_ms = store.stats.get_latency_ms
+        value, route = store.get(0, "file")
+        assert value == "data"
+        # One probe reached the first successor: one extra hop plus the
+        # owner->successor link delay, on top of the routed cost.
+        assert store.stats.get_hops == before_hops + route.hops + 1
+        extra_ms = store.stats.get_latency_ms - before_ms - route.latency_ms
+        assert extra_ms == pytest.approx(float(net.latency.pair(owner, succs[0])))
+
+    def test_every_probe_charged_when_all_replicas_lost(self, small_networks):
+        net, store, key, owner = self.make_lossy_store(small_networks)
+        succs = net.successor_list(owner, 2)
+        for peer in [owner] + succs:
+            store._stored.get(peer, {}).pop(key, None)
+        before_hops = store.stats.get_hops
+        value, route = store.get(0, "file")
+        assert value is None
+        # Both successors were probed (and answered empty): both charged.
+        assert store.stats.get_hops == before_hops + route.hops + len(succs)
+
+    def test_miss_without_fallback_charges_route_only(self, small_networks):
+        net, _ = small_networks
+        store = DHTStore(net, replicas=0)
+        store.put("file", "data")
+        key = store._space().hash_key("file")
+        owner = store.network.owner_of(key)
+        store._stored[owner].pop(key)
+        before = store.stats.get_hops
+        value, route = store.get(0, "file")
+        assert value is None
+        assert store.stats.get_hops == before + route.hops  # no replicas to probe
+
+
+class TestTinyRingPlacement:
+    def test_replica_peers_dedupes_on_tiny_ring(self):
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(3, np.random.default_rng(10))
+        net = ChordNetwork(space, ids)
+        store = DHTStore(net, replicas=5)  # wraps the whole ring
+        key = store.put("file", "data")
+        peers = store._replica_peers(key)
+        assert len(peers) == len(set(peers)) == 3
+        assert store.stats.replicas_written == 3  # one write per distinct peer
+        assert store.holder_count("file") == 3
+
+
+class TestRealisticDurabilityEdges:
+    def make_bare_store(self):
+        space = IdSpace(16)
+        ids = space.sample_unique_ids(30, np.random.default_rng(5))
+        net = ChordNetwork(space, ids)
+        return net, DHTStore(net, replicas=0, restore_lost=False)
+
+    def crash_owner_of(self, net, store, name):
+        owner = net.owner_of(store._space().hash_key(name))
+        store.drop_peer_state(owner)
+        net.remove_peer(owner)
+        store.repair()
+        return owner
+
+    def test_lost_republished_lost_again(self):
+        """A resurrected key is a *new* fact: it can be lost afresh."""
+        net, store = self.make_bare_store()
+        store.put("f", "v1")
+        self.crash_owner_of(net, store, "f")
+        assert store.get(0, "f")[0] is None
+        assert store.stats.lost_after_repair == 1
+        store.put("f", "v2")  # re-publish clears the tombstone
+        assert store.get(0, "f")[0] == "v2"
+        self.crash_owner_of(net, store, "f")
+        assert store.get(0, "f")[0] is None
+        assert store.stats.lost_after_repair == 2  # counted again, not skipped
+        # The tombstone keeps later repairs from resurrecting it.
+        store.repair()
+        assert store.get(0, "f")[0] is None
+
+    def test_repair_layout_deterministic_across_runs(self):
+        """Same membership + catalogue => byte-identical post-repair layout."""
+
+        def run(seed):
+            space = IdSpace(16)
+            ids = space.sample_unique_ids(40, np.random.default_rng(2))
+            net = ChordNetwork(space, ids)
+            store = DHTStore(net, replicas=2, restore_lost=False)
+            for i in range(20):
+                store.put(f"k{i}", i)
+            for peer in (3, 11, 19):
+                store.drop_peer_state(peer)
+                net.remove_peer(peer)
+            store.repair()
+            return {p: sorted(held.items()) for p, held in sorted(store._stored.items())}
+
+        assert run(0) == run(1)  # the seed argument is deliberately unused
+
+
+class TestHierasSuccessorsPath:
+    def test_successors_of_uses_global_ring(self, small_networks):
+        """HIERAS has no ``successor_list``; the store must fall back to
+        the global ring — and agree with flat Chord over the same ids."""
+        chord, hieras = small_networks
+        assert not hasattr(hieras, "successor_list")
+        store = DHTStore(hieras, replicas=3)
+        chord_store = DHTStore(chord, replicas=3)
+        for peer in (0, 17, 150):
+            assert store._successors_of(peer) == chord_store._successors_of(peer)
+
+    def test_hieras_fallback_read_via_global_successors(self, small_networks):
+        _, hieras = small_networks
+        store = DHTStore(hieras, replicas=2)
+        key = store.put("file", "data")
+        owner = hieras.owner_of(key)
+        store._stored[owner].pop(key)
+        before = store.stats.get_hops
+        value, route = store.get(0, "file")
+        assert value == "data"
+        assert store.stats.get_hops > before + route.hops  # probes were charged
