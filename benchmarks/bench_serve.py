@@ -1,0 +1,21 @@
+"""Benchmark: serving-layer saturation (repro.serve + repro.loadgen).
+
+Delegates to the registered ``saturation`` experiment: an open-loop
+offered-load sweep over both stacks behind a
+:class:`~repro.serve.service.DHTService` front door, plus the
+flash-crowd admission pair, the coalescing pair at the knee, and the
+membership-churn cell.  Fails if any shape check diverges — achieved
+throughput must track offered load to the cost-model knee and plateau,
+batch coalescing must move the knee vs per-request dispatch, admission
+control must bound the flash-crowd queue-wait tail, and HIERAS must
+serve the shared capacity at a lower end-to-end p99 than Chord.  The
+same document is written as ``BENCH_serve.json`` by
+``python -m repro.experiments serve-bench``.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_saturation(benchmark):
+    """Offered vs achieved throughput, knee location, tail bounds."""
+    run_experiment_benchmark(benchmark, "saturation")

@@ -32,6 +32,11 @@ Subcommands
     and write ``BENCH_durability.json``: replication factor × churn ×
     {chain, quorum} × {successor, ring_scoped} cells on both stacks with
     data-loss probability, read staleness, and hinted-handoff traffic.
+``serve-bench``
+    Run the serving-layer saturation study (``repro.experiments.serve_exp``)
+    and write ``BENCH_serve.json``: offered load vs achieved throughput
+    vs p99 on both stacks, the flash-crowd admission-control pair, the
+    coalescing pair at the knee, and the churn cell.
 
 ``run`` additionally drops one ``metrics_<id>.json`` artifact per
 experiment (structured result data; directory overridable via
@@ -271,6 +276,30 @@ def _cmd_durability_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.serve_exp import run_bench_serve, write_bench_serve
+
+    full = is_full_scale(True if args.full else None)
+    doc = run_bench_serve(full=full, seed=args.seed)
+    path = write_bench_serve(doc, args.out)
+    for name, phase in doc["phases"].items():
+        print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
+    headline = doc["metrics"]["headline"]
+    for stack, shift in headline["knee_shift"].items():
+        admission = headline["admission"][stack]
+        knee = headline["knee"][stack]
+        print(
+            f"  {stack:<8} knee {knee['achieved_max_per_s']:.0f}/s "
+            f"(model {knee['model_capacity_per_s']:.0f})  "
+            f"scalar {shift['scalar_achieved_per_s']:.0f}/s vs "
+            f"batched {shift['batched_achieved_per_s']:.0f}/s  "
+            f"flash q_p99 {admission['unbounded_queue_p99_ms']:.0f} -> "
+            f"{admission['bounded_queue_p99_ms']:.0f} ms bounded"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -344,6 +373,17 @@ def main(argv: list[str] | None = None) -> int:
     durability.add_argument("--full", action="store_true", help="paper-scale parameters")
     durability.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
     durability.set_defaults(func=_cmd_durability_bench)
+    serve = sub.add_parser(
+        "serve-bench",
+        help="run the serving-layer saturation study, write BENCH_serve.json",
+    )
+    serve.add_argument(
+        "--out", default="BENCH_serve.json",
+        help="output path (default BENCH_serve.json)",
+    )
+    serve.add_argument("--full", action="store_true", help="paper-scale parameters")
+    serve.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
+    serve.set_defaults(func=_cmd_serve_bench)
     args = parser.parse_args(argv)
     return int(args.func(args))
 

@@ -43,7 +43,7 @@ class MetricsGuardChecker(Checker):
     def applies(self, ctx: LintContext) -> bool:
         return ctx.in_package(
             "repro.dht", "repro.sim", "repro.cache", "repro.engine",
-            "repro.replication",
+            "repro.replication", "repro.serve", "repro.loadgen",
         )
 
     # ------------------------------------------------------------------

@@ -113,7 +113,7 @@ class WallClockChecker(Checker):
         return ctx.in_package(
             "repro.sim", "repro.core", "repro.dht", "repro.faults",
             "repro.experiments", "repro.cache", "repro.engine",
-            "repro.replication",
+            "repro.replication", "repro.serve", "repro.loadgen",
         )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
@@ -184,7 +184,8 @@ class UnsortedIterationChecker(Checker):
         return ctx.in_package(
             "repro.sim", "repro.core", "repro.dht", "repro.faults",
             "repro.topology", "repro.metrics", "repro.util", "repro.cache",
-            "repro.engine", "repro.replication",
+            "repro.engine", "repro.replication", "repro.serve",
+            "repro.loadgen",
         )
 
     # -- set-typed local tracking --------------------------------------

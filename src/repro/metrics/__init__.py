@@ -10,7 +10,7 @@ Everything the repo measures flows through this package:
   :class:`~repro.metrics.spans.SpanRecorder` is attached;
 * :mod:`repro.metrics.sinks` — in-memory, JSONL and summary sinks;
 * :mod:`repro.metrics.messages` — protocol-message tracing on the same
-  registry (the old ``repro.sim.trace`` API).
+  registry.
 
 Collection is off by default everywhere: networks and simulators carry
 a ``metrics`` attribute that is ``None`` until explicitly attached, so

@@ -1,15 +1,13 @@
 """Protocol-message tracing on the unified metrics registry.
 
-:class:`MessageTracer` (formerly ``repro.sim.trace.MessageTracer``)
-records every :class:`~repro.sim.network.SimNetwork` send as a
-structured event, with filtering and aggregation helpers.  It now also
-feeds an optional :class:`~repro.metrics.registry.MetricsRegistry`, so
-per-phase traffic attribution (join cost, steady-state upkeep) lands in
-the same place as routing spans and simulator counters.
-
-``repro.sim.trace`` is a retired stub that still lazily re-exports
-these names with a :class:`DeprecationWarning`; it is removed in the
-next release.
+:class:`MessageTracer` records every
+:class:`~repro.sim.network.SimNetwork` send as a structured event, with
+filtering and aggregation helpers.  It now also feeds an optional
+:class:`~repro.metrics.registry.MetricsRegistry`, so per-phase traffic
+attribution (join cost, steady-state upkeep) lands in the same place as
+routing spans and simulator counters.  (The tracer's former home,
+``repro.sim.trace``, went through a deprecation-stub release and is now
+deleted.)
 """
 
 from __future__ import annotations

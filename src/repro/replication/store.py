@@ -627,6 +627,35 @@ class ReplicatedStore:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    def read_at(self, peer: int, name: str) -> Any:
+        """The copy of ``name`` held locally by ``peer`` (None if absent).
+
+        A zero-cost local read — no routing, no charged contact — for
+        callers that already reached ``peer`` by other means (the
+        serving layer's coalesced lookups resolve owners through the
+        batch engine and then read the owner's disk in place).
+        """
+        key = int(self.network.space.hash_key(name))
+        held = self._read_local(int(peer), key)
+        return held[0] if held is not None else None
+
+    def seed_key(self, name: str, value: Any) -> int:
+        """Pre-load ``name`` onto its replica group without routing.
+
+        A bootstrap helper for serving experiments: stamps a version,
+        updates the audit catalogue, and writes the replica group's
+        disks directly (no routed hops, no charged contacts; only
+        ``replicas_written`` ticks).  Returns the version stamped.
+        """
+        key = int(self.network.space.hash_key(name))
+        self._version_clock += 1
+        version = self._version_clock
+        self._catalog[key] = value
+        self._latest[key] = version
+        for peer in replica_group(self.network, key, self.policy):
+            self._write_local(int(peer), key, value, version)
+        return version
+
     def holder_count(self, name: str) -> int:
         """How many peers (live or not) currently hold ``name``."""
         key = int(self.network.space.hash_key(name))

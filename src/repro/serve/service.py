@@ -1,0 +1,419 @@
+"""`DHTService`: a request-queue front-end over the trace-driven stacks.
+
+The service closes the gap between "a routing library" and "a thing
+that serves": clients submit :class:`~repro.serve.request.Request`
+records (``get``/``put``/``join``/``leave``) which cross an explicit
+queue boundary and are dispatched by a pool of ``workers`` slots on a
+**deterministic simulated clock** — no wall time is consulted anywhere
+(reprolint DET002 covers this package), so a run is a pure function of
+the request sequence and the network state.
+
+Queueing model
+--------------
+Arrivals are open-loop (the load generator decides times; completions
+never gate them).  Admission control happens at the door: when
+``queue_limit`` is set and the pending queue is full, the arrival is
+rejected immediately (load shedding).  Dispatch is work-conserving
+FIFO with **read coalescing**: when the oldest pending request is a
+``get``, the dispatcher collects up to ``max_batch`` pending gets into
+one :func:`repro.engine.batch_route` call — the serving path is where
+batching pays off, because the per-dispatch overhead amortizes across
+the batch.  Writes dispatch one at a time when they reach the head and
+fan out through :class:`~repro.replication.store.ReplicatedStore`;
+membership waves apply the network's batch mutation primitives.
+
+A worker slot is occupied for the *dispatch cost* only
+(``dispatch_overhead_ms`` + marginal per-request cost): the front-end
+is modelled async, so network time — routing hops, replica fan-out —
+runs off-worker and lands in the request's latency, not the service's
+capacity.  Saturation therefore arrives when offered load exceeds
+``workers / mean_dispatch_cost``, and coalescing moves that knee by
+shrinking the mean cost per lookup.
+
+Every completed request records a four-phase latency breakdown (queue
+wait → dispatch service → route → replica fan-out) into the service's
+:class:`~repro.metrics.registry.MetricsRegistry` — the registry *is*
+the product here (the SLO reporter reads it), so it is always on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine import batch_route
+from repro.metrics.registry import MetricsRegistry
+from repro.replication.store import ReplicatedStore
+from repro.serve.config import ServiceConfig
+from repro.serve.request import Completion, Request
+from repro.util.validation import require
+
+__all__ = ["DHTService", "ServeResult"]
+
+
+@dataclass
+class ServeResult:
+    """Everything one :meth:`DHTService.run` produced.
+
+    ``completions`` is ordered by request sequence number (arrival
+    order), regardless of the order requests finished in.
+    ``makespan_ms`` is the simulated instant the last dispatch
+    completed (the workers went idle) — the denominator for achieved
+    throughput, so a backlog that drains long after the offered window
+    closes is charged for its drain time.  Responses may still be in
+    flight at that instant; their network time is the *request's*
+    latency, not the service's capacity.
+    """
+
+    config: ServiceConfig
+    completions: list[Completion]
+    registry: MetricsRegistry
+    makespan_ms: float
+    max_queue_depth: int
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def served(self) -> int:
+        """Requests that completed successfully."""
+        return self.counts.get("ok", 0)
+
+    @property
+    def rejected(self) -> int:
+        """Arrivals turned away by admission control."""
+        return self.counts.get("rejected", 0)
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Achieved throughput over the makespan (requests/second)."""
+        if self.makespan_ms <= 0.0:
+            return 0.0
+        return 1000.0 * self.served / self.makespan_ms
+
+
+#: A queued entry: (sequence number, request).
+_Entry = tuple[int, Request]
+
+
+class DHTService:
+    """Serve ``get``/``put``/``join``/``leave`` over a DHT stack.
+
+    Parameters
+    ----------
+    network:
+        A :class:`~repro.dht.chord.ChordNetwork` or
+        :class:`~repro.core.hieras.HierasNetwork` (anything the batch
+        engine routes over, with ``is_alive`` / batch membership).
+    config:
+        Frozen :class:`~repro.serve.config.ServiceConfig`.
+    store:
+        Optional :class:`~repro.replication.store.ReplicatedStore`;
+        when present, ``put`` fans out through it and ``get`` returns
+        the owner's local copy.  Without one, both ops are pure owner
+        lookups (the service still charges write-shaped dispatch cost
+        for puts).  Attach the store to the network
+        (``network.attach_store``) if membership waves should drop
+        disks / replay hints.
+    registry:
+        Metrics sink; a fresh :class:`MetricsRegistry` by default.  The
+        serving layer is the measurement plane, so recording is always
+        on (``serve.*`` counters and phase histograms).
+    """
+
+    def __init__(
+        self,
+        network: Any,
+        *,
+        config: ServiceConfig | None = None,
+        store: ReplicatedStore | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config if config is not None else ServiceConfig()
+        self.store = store
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Key-name → wrapped id cache (Zipf workloads reuse names heavily).
+        self._key_cache: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _key_of(self, name: str) -> int:
+        key = self._key_cache.get(name)
+        if key is None:
+            key = self._key_cache[name] = int(self.network.space.hash_key(name))
+        return key
+
+    def _occupancy_ms(self, op: str, n_routed: int) -> float:
+        """Worker time one dispatch call consumes (the cost model)."""
+        cfg = self.config
+        if n_routed == 0:
+            return 0.0
+        if op == "get":
+            return cfg.dispatch_overhead_ms + n_routed * cfg.per_lookup_ms
+        if op == "put":
+            return cfg.dispatch_overhead_ms + cfg.per_write_ms
+        return cfg.dispatch_overhead_ms + cfg.per_membership_ms
+
+    def _record(self, completion: Completion) -> None:
+        reg = self.registry
+        reg.inc("serve.arrivals")
+        reg.inc(f"serve.{completion.op}.arrivals")
+        reg.inc(f"serve.{completion.outcome}")
+        if completion.outcome == "rejected":
+            return
+        if completion.outcome == "deadline":
+            reg.observe("serve.shed_wait_ms", completion.queue_wait_ms)
+            return
+        reg.observe("serve.total_ms", completion.total_ms)
+        reg.observe("serve.queue_wait_ms", completion.queue_wait_ms)
+        reg.observe("serve.service_ms", completion.service_ms)
+        reg.observe("serve.route_ms", completion.route_ms)
+        reg.observe("serve.fanout_ms", completion.fanout_ms)
+        reg.observe(f"serve.{completion.op}.total_ms", completion.total_ms)
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self, requests: list[Request]) -> ServeResult:
+        """Serve an arrival-ordered request sequence to completion.
+
+        Requests must be sorted by ``at_ms``.  The loop interleaves
+        arrivals with dispatches in simulated-time order: before each
+        arrival every worker that frees up earlier gets to drain the
+        queue, then admission control sees the true queue depth at the
+        arrival instant.  After the last arrival the backlog drains.
+        """
+        cfg = self.config
+        heap: list[tuple[float, int]] = [(0.0, w) for w in range(cfg.workers)]
+        gets: deque[_Entry] = deque()
+        others: deque[_Entry] = deque()
+        out: list[Completion] = []
+        max_depth = 0
+        last_at = 0.0
+        for seq, req in enumerate(requests):
+            require(req.at_ms >= last_at, "requests must be sorted by at_ms")
+            last_at = req.at_ms
+            self._drain(heap, gets, others, req.at_ms, out)
+            depth = len(gets) + len(others)
+            if cfg.queue_limit is not None and depth >= cfg.queue_limit:
+                completion = Completion(
+                    seq=seq, op=req.op, outcome="rejected",
+                    arrival_ms=req.at_ms, finish_ms=req.at_ms,
+                )
+                out.append(completion)
+                self._record(completion)
+                continue
+            (gets if req.op == "get" else others).append((seq, req))
+            if depth + 1 > max_depth:
+                max_depth = depth + 1
+            self._drain(heap, gets, others, req.at_ms, out)
+        self._drain(heap, gets, others, math.inf, out)
+        makespan = max([last_at] + [busy_until for busy_until, _ in heap])
+        out.sort(key=lambda c: c.seq)
+        counts: dict[str, int] = {}
+        for c in out:
+            counts[c.outcome] = counts.get(c.outcome, 0) + 1
+        self.registry.set_gauge("serve.max_queue_depth", float(max_depth))
+        self.registry.set_gauge("serve.makespan_ms", makespan)
+        return ServeResult(
+            config=cfg,
+            completions=out,
+            registry=self.registry,
+            makespan_ms=makespan,
+            max_queue_depth=max_depth,
+            counts=counts,
+        )
+
+    def _drain(
+        self,
+        heap: list[tuple[float, int]],
+        gets: deque[_Entry],
+        others: deque[_Entry],
+        until: float,
+        out: list[Completion],
+    ) -> None:
+        """Dispatch until the queue is empty or no worker frees by ``until``."""
+        while (gets or others) and heap[0][0] <= until:
+            free_at, worker = heapq.heappop(heap)
+            busy_until = self._dispatch_one(free_at, gets, others, out)
+            heapq.heappush(heap, (busy_until, worker))
+
+    @staticmethod
+    def _head_is_get(gets: deque[_Entry], others: deque[_Entry]) -> bool:
+        if not others:
+            return True
+        if not gets:
+            return False
+        return gets[0][0] < others[0][0]
+
+    def _shed(self, seq: int, req: Request, now: float, out: list[Completion]) -> None:
+        completion = Completion(
+            seq=seq, op=req.op, outcome="deadline",
+            arrival_ms=req.at_ms, dispatch_ms=now, finish_ms=now,
+            queue_wait_ms=now - req.at_ms,
+        )
+        out.append(completion)
+        self._record(completion)
+
+    def _take(
+        self,
+        free_at: float,
+        gets: deque[_Entry],
+        others: deque[_Entry],
+        out: list[Completion],
+    ) -> list[_Entry]:
+        """Form the next dispatch batch, shedding expired requests.
+
+        Returns the (non-empty) batch, or ``[]`` when shedding emptied
+        the queue.  A get at the head coalesces up to ``max_batch``
+        pending gets (oldest first); any other op dispatches alone.
+        """
+        deadline = self.config.deadline_ms
+        while gets or others:
+            if self._head_is_get(gets, others):
+                batch: list[_Entry] = []
+                while gets and len(batch) < self.config.max_batch:
+                    seq, req = gets.popleft()
+                    if deadline is not None and max(free_at, req.at_ms) - req.at_ms > deadline:
+                        self._shed(seq, req, max(free_at, req.at_ms), out)
+                        continue
+                    batch.append((seq, req))
+                if batch:
+                    return batch
+                continue
+            seq, req = others.popleft()
+            if deadline is not None and max(free_at, req.at_ms) - req.at_ms > deadline:
+                self._shed(seq, req, max(free_at, req.at_ms), out)
+                continue
+            return [(seq, req)]
+        return []
+
+    def _dispatch_one(
+        self,
+        free_at: float,
+        gets: deque[_Entry],
+        others: deque[_Entry],
+        out: list[Completion],
+    ) -> float:
+        """Dispatch one batch (or single op); returns the worker's busy-until."""
+        batch = self._take(free_at, gets, others, out)
+        if not batch:
+            return free_at
+        now = max(free_at, batch[0][1].at_ms)
+        op = batch[0][1].op
+        if op == "get":
+            return self._dispatch_gets(now, batch, out)
+        if op == "put":
+            return self._dispatch_put(now, batch[0], out)
+        return self._dispatch_membership(now, batch[0], out)
+
+    # -- get: coalesced batch routing ----------------------------------
+    def _dispatch_gets(self, now: float, batch: list[_Entry], out: list[Completion]) -> float:
+        live: list[_Entry] = []
+        for seq, req in batch:
+            if self.network.is_alive(req.source):
+                live.append((seq, req))
+            else:
+                completion = Completion(
+                    seq=seq, op=req.op, outcome="failed",
+                    arrival_ms=req.at_ms, dispatch_ms=now, finish_ms=now,
+                    queue_wait_ms=now - req.at_ms,
+                )
+                out.append(completion)
+                self._record(completion)
+        occupancy = self._occupancy_ms("get", len(live))
+        if not live:
+            return now
+        sources = [req.source for _, req in live]
+        keys = [self._key_of(req.name) for _, req in live]
+        result = batch_route(self.network, sources, keys)
+        self.registry.inc("serve.batches")
+        self.registry.inc("serve.batched_lookups", len(live))
+        self.registry.observe("serve.batch_size", float(len(live)))
+        for lane, (seq, req) in enumerate(live):
+            owner = int(result.owner[lane])
+            route_ms = float(result.latency_ms[lane])
+            value = None
+            if self.store is not None:
+                value = self.store.read_at(owner, req.name)
+            completion = Completion(
+                seq=seq, op=req.op, outcome="ok",
+                arrival_ms=req.at_ms, dispatch_ms=now,
+                finish_ms=now + occupancy + route_ms,
+                queue_wait_ms=now - req.at_ms,
+                service_ms=occupancy, route_ms=route_ms,
+                batch_size=len(live), owner=owner, value=value,
+            )
+            out.append(completion)
+            self._record(completion)
+        return now + occupancy
+
+    # -- put: replicated write fan-out ---------------------------------
+    def _dispatch_put(self, now: float, entry: _Entry, out: list[Completion]) -> float:
+        seq, req = entry
+        if not self.network.is_alive(req.source):
+            completion = Completion(
+                seq=seq, op=req.op, outcome="failed",
+                arrival_ms=req.at_ms, dispatch_ms=now, finish_ms=now,
+                queue_wait_ms=now - req.at_ms,
+            )
+            out.append(completion)
+            self._record(completion)
+            return now
+        occupancy = self._occupancy_ms("put", 1)
+        if self.store is not None:
+            put = self.store.put(req.source, req.name, req.value)
+            route = put.route
+            route_ms = (
+                route.latency_ms + route.retry_latency_ms if route is not None else 0.0
+            )
+            fanout_ms = put.total_latency_ms - route_ms
+            outcome = "ok" if put.success else "failed"
+            owner = int(route.owner) if route is not None else -1
+        else:
+            result = batch_route(self.network, [req.source], [self._key_of(req.name)])
+            route_ms = float(result.latency_ms[0])
+            fanout_ms = 0.0
+            outcome = "ok"
+            owner = int(result.owner[0])
+        completion = Completion(
+            seq=seq, op=req.op, outcome=outcome,
+            arrival_ms=req.at_ms, dispatch_ms=now,
+            finish_ms=now + occupancy + route_ms + fanout_ms,
+            queue_wait_ms=now - req.at_ms,
+            service_ms=occupancy, route_ms=route_ms, fanout_ms=fanout_ms,
+            batch_size=1, owner=owner,
+        )
+        out.append(completion)
+        self._record(completion)
+        return now + occupancy
+
+    # -- join/leave: batch membership waves ----------------------------
+    def _dispatch_membership(self, now: float, entry: _Entry, out: list[Completion]) -> float:
+        seq, req = entry
+        if req.op == "leave":
+            wave = [int(p) for p in req.peers if self.network.is_alive(int(p))]
+            # Never let a wave empty the overlay: keep at least one peer.
+            alive = int(self.network.n_peers)
+            if len(wave) >= alive:
+                wave = wave[: max(0, alive - 1)]
+            if wave:
+                self.network.remove_peers(wave)
+        else:
+            wave = [int(p) for p in req.peers if not self.network.is_alive(int(p))]
+            if wave:
+                self.network.revive_peers(wave)
+        occupancy = self._occupancy_ms(req.op, len(wave)) if wave else 0.0
+        self.registry.inc(f"serve.{req.op}.peers", len(wave))
+        completion = Completion(
+            seq=seq, op=req.op, outcome="ok",
+            arrival_ms=req.at_ms, dispatch_ms=now, finish_ms=now + occupancy,
+            queue_wait_ms=now - req.at_ms, service_ms=occupancy,
+            batch_size=len(wave),
+        )
+        out.append(completion)
+        self._record(completion)
+        return now + occupancy

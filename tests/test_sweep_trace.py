@@ -161,30 +161,15 @@ class TestMessageTracer:
         assert reg.counter("trace.sent.y").value == 1
         assert reg.histogram("trace.delay_ms").count == 3
 
-    def test_retired_shim_warns_exactly_once(self):
-        """The repro.sim.trace stub: one DeprecationWarning, lazy re-exports.
+    def test_retired_shim_is_gone(self):
+        """repro.sim.trace's grace period is over: the module is deleted.
 
-        Last release of grace before deletion — importing the stub must
-        emit exactly one DeprecationWarning (not one per attribute), the
-        moved names must resolve to the repro.metrics originals, and
-        unknown attributes must still raise AttributeError.
+        The tracer lives in repro.metrics.messages; importing the old
+        path must fail outright rather than resolve to a stale stub.
         """
         import importlib
         import sys
-        import warnings
-
-        from repro.metrics.messages import TracedMessage
 
         sys.modules.pop("repro.sim.trace", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shim = importlib.import_module("repro.sim.trace")
-            assert shim.MessageTracer is MessageTracer
-            assert shim.TracedMessage is TracedMessage
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "repro.metrics.messages" in str(deprecations[0].message)
-        with pytest.raises(AttributeError):
-            shim.no_such_name
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.sim.trace")
