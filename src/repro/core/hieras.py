@@ -522,7 +522,7 @@ class HierasNetwork(DHTNetwork):
                 (e.node_id, e.peer, self.ring_name_of(e.peer, 2)) for e in entries
             )
             rows.append(
-                LayeredFingerRow(start=base.start, interval=base.interval, successors=succ)
+                LayeredFingerRow(start=base.start, interval=base.interval, successors=succ)  # lint: allow-loop-alloc -- Table 2 inspection API; routing never calls this
             )
         return rows
 

@@ -80,7 +80,10 @@ class LandmarkSet:
         require(len(groups) >= 1, "need at least one landmark group")
         require(all(len(g) >= 1 for g in groups), "empty logical landmark")
         primaries = np.asarray([int(g[0]) for g in groups], dtype=np.int64)
-        return cls(routers=primaries, members=[np.asarray(g) for g in groups])
+        return cls(
+            routers=primaries,
+            members=[np.asarray(g, dtype=np.int64) for g in groups],
+        )
 
     def fail(self, landmark: int) -> None:
         """Mark a landmark as failed (it stops answering pings)."""

@@ -165,8 +165,7 @@ def fail_peers(network: HierasNetwork, peers: list[int]) -> dict[str, float]:
     rings_before = {
         layer: set(network.rings_at_layer(layer)) for layer in range(2, network.depth + 1)
     }
-    for peer in peers:
-        network.remove_peer(peer)
+    network.remove_peers([int(peer) for peer in peers])
     changed = 0
     vanished = 0
     for layer, before in rings_before.items():

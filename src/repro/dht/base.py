@@ -44,7 +44,7 @@ class ZeroLatency(LatencyModel):
         return 0.0
 
     def pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
-        return np.zeros(len(np.asarray(us)), dtype=np.float64)
+        return np.zeros(len(us), dtype=np.float64)
 
 
 @dataclass
@@ -214,7 +214,7 @@ class DHTNetwork(ABC):
             u, v = result.path[i], result.path[i + 1]
             delay = float(latency.pair(u, v)) if latency is not None else 0.0
             hops.append(
-                HopRecord(
+                HopRecord(  # lint: allow-loop-alloc -- traced routes only; metrics-off lookups never reach record_route
                     index=i, src=u, dst=v, layer=layers[i], ring=rings[i],
                     latency_ms=delay,
                     cache=cache[i] if cache is not None else "",

@@ -124,7 +124,7 @@ class CanNetwork(DHTNetwork):
         for slot in join_order[1:]:
             slot = int(slot)
             point = peer_point(int(peers[slot]), d)
-            owner = self._owner_among(point, np.asarray(occupied), lo, hi)
+            owner = self._owner_among(point, np.asarray(occupied, dtype=np.int64), lo, hi)
             dim = int(next_split[owner])
             mid = (lo[owner, dim] + hi[owner, dim]) // 2
             lo[slot] = lo[owner]

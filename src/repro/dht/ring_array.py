@@ -233,7 +233,7 @@ class SortedRing:
             nxt = (node_id + (1 << i)) % self._size if i < self.space.bits else node_id
             spos = self.successor_pos(start)
             entries.append(
-                FingerEntry(
+                FingerEntry(  # lint: allow-loop-alloc -- inspection/Table 2 helper; routing queries fingers lazily from the SoA arrays
                     index=i,
                     start=start,
                     interval=(start, nxt),

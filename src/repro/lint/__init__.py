@@ -1,14 +1,22 @@
-"""``reprolint``: AST-based determinism & simulation-safety analysis.
+"""``reprolint``: dataflow-aware determinism & performance analysis.
 
 The repository's reproducibility contract (DESIGN.md §8) is a set of
 *conventions* — all randomness flows through
 :func:`repro.util.rng.make_rng`, no wall-clock reaches the simulation
 core, iteration order never leaks from an unordered container into an
-artifact, metrics stay off the hot path unless attached, and modular
-interval tests go through :mod:`repro.util.intervals`.  Conventions rot;
-this package checks them mechanically::
+artifact, metrics stay off the hot path unless attached, and the hot
+packages keep their struct-of-arrays shape.  Conventions rot; this
+package checks them mechanically::
 
-    python -m repro.lint src tests
+    python -m repro.lint src tests benchmarks examples --jobs auto
+
+Since v2 the analyzer is two-phase.  Phase one scans every file into a
+:class:`~repro.lint.facts.ProjectFacts` snapshot (import graph,
+hot-module manifest, dataclass registry, rebuild-caller closure).
+Phase two runs per-file rule passes — flow-sensitive ones ride the
+:mod:`repro.lint.dataflow` engine (per-function CFGs, reaching
+definitions, and a provenance taint lattice), so ``s = sorted(s)``
+kills a finding and ``t = s; return list(t)`` still raises one.
 
 Rule catalog
 ------------
@@ -17,17 +25,33 @@ Rule catalog
 Rule      Pragma alias    What it bans
 ========  ==============  ====================================================
 DET001    rng             direct RNG construction/seeding outside
-                          ``repro/util/rng.py`` (tests may seed explicitly)
+                          ``repro/util/rng.py`` (test-grade code may seed
+                          explicitly)
 DET002    wallclock       wall-clock reads inside ``sim``/``core``/``dht``/
                           ``faults``/``experiments``
 DET003    unsorted        unordered ``set``/``dict`` iteration whose order can
-                          reach a return value, artifact, or RNG choice
+                          reach a return value, artifact, or RNG choice —
+                          tracked through assignments and helper returns
 MET001    metrics-guard   registry/span calls on ``dht``/``sim`` hot paths not
                           behind an ``is None``/truthiness guard
 INT001    interval        raw chained modular comparisons in ``core``/``dht``
                           that bypass ``repro.util.intervals``
+PERF001   loop-alloc      per-element record-object allocation in loops in
+                          hot-manifest modules (SoA contract)
+PERF002   churn-rebuild   per-peer routing-state rebuilds inside membership
+                          churn loops (use the batch mutators)
+PERF003   dtype           dtype-less numpy constructors in hot-manifest
+                          modules (implicit int64/float64 widening)
+FLT001    float-order     order-sensitive float accumulation over unordered
+                          iterables (sort or ``math.fsum``)
+FRZ001    frozen          ``object.__setattr__`` on frozen configs outside
+                          construction
+EXC001    broad-except    ``except``/``except Exception`` swallowing errors in
+                          protocol/sim code
+LNT000    —               syntax error (stops all other rules for the file)
 LNT100    —               suppression pragma without a reason (the pragma is
                           ignored until a reason is given)
+LNT002    —               reasoned pragma that no longer suppresses anything
 ========  ==============  ====================================================
 
 Findings are suppressed inline with a *reasoned* pragma on any physical
@@ -35,16 +59,24 @@ line of the offending statement::
 
     t0 = time.perf_counter()  # lint: allow-wallclock -- phase timing, reported under the nondeterministic "phases" key
 
-The CLI exits nonzero on any unsuppressed finding, so CI can gate on it.
+Toolchain: ``--jobs N|auto`` fans the per-file phase over worker
+processes, ``--sarif PATH`` emits SARIF 2.1.0 for code scanning,
+``--baseline``/``--write-baseline`` adopt the linter incrementally via
+stable fingerprints, ``--explain RULE`` prints a rule's documentation,
+and ``--max-seconds`` enforces the CI runtime budget.  The CLI exits
+nonzero on any unsuppressed finding, so CI can gate on it.
 """
 
 from repro.lint.engine import Checker, Finding, LintContext, lint_paths, lint_source
 from repro.lint.checkers import ALL_CHECKERS
+from repro.lint.facts import ProjectFacts, build_facts
 
 __all__ = [
     "Checker",
     "Finding",
     "LintContext",
+    "ProjectFacts",
+    "build_facts",
     "lint_paths",
     "lint_source",
     "ALL_CHECKERS",

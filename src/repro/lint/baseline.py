@@ -1,0 +1,69 @@
+"""Baseline files: adopt ``reprolint`` incrementally (``--baseline``).
+
+A baseline is a JSON file of finding *fingerprints* — the engine's
+stable identities hashing ``(module, rule, normalised source line,
+occurrence index)`` rather than line numbers, so unrelated edits above
+a baselined finding do not resurrect it, while actually touching the
+flagged line does.
+
+Workflow::
+
+    python -m repro.lint src --write-baseline .reprolint-baseline.json
+    # ... later runs only report findings NOT in the baseline:
+    python -m repro.lint src --baseline .reprolint-baseline.json
+
+Baselined findings that no longer occur are reported by the CLI as a
+note (count only) so the file can be re-written and shrunk over time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.lint.engine import Finding
+
+__all__ = ["load_baseline", "write_baseline", "partition"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path | str) -> set[str]:
+    """The fingerprint set of a baseline file.
+
+    Raises ``ValueError`` on a malformed or wrong-version file — a
+    silently ignored baseline would un-suppress hundreds of findings.
+    """
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a reprolint baseline (version {_VERSION})")
+    fingerprints = raw.get("fingerprints")
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"{path}: baseline has no fingerprint map")
+    return set(fingerprints)
+
+
+def write_baseline(path: Path | str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as a baseline (sorted, human-diffable)."""
+    fingerprints = {
+        f.fingerprint: f.render() for f in findings if f.fingerprint
+    }
+    doc = {
+        "version": _VERSION,
+        "tool": "reprolint",
+        "fingerprints": dict(sorted(fingerprints.items())),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: Sequence[Finding], baseline: set[str]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, count-of-baselined).
+
+    A finding with no fingerprint (defensive; the engine always stamps
+    one) is treated as new.
+    """
+    new = [f for f in findings if not f.fingerprint or f.fingerprint not in baseline]
+    return new, len(findings) - len(new)

@@ -14,6 +14,16 @@ from repro.lint.determinism import (
     WallClockChecker,
 )
 from repro.lint.engine import Checker
+from repro.lint.perf import (
+    ChurnRebuildChecker,
+    DtypeWideningChecker,
+    LoopAllocationChecker,
+)
+from repro.lint.quality import (
+    BroadExceptChecker,
+    FloatAccumulationChecker,
+    FrozenMutationChecker,
+)
 
 __all__ = ["ALL_CHECKERS"]
 
@@ -23,4 +33,10 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     UnsortedIterationChecker(),
     MetricsGuardChecker(),
     IntervalChecker(),
+    LoopAllocationChecker(),
+    ChurnRebuildChecker(),
+    DtypeWideningChecker(),
+    FloatAccumulationChecker(),
+    FrozenMutationChecker(),
+    BroadExceptChecker(),
 )

@@ -1,40 +1,104 @@
 """``reprolint`` command line: ``python -m repro.lint <paths...>``.
 
 Exit codes: 0 — clean (every finding suppressed with a reasoned
-pragma); 1 — unsuppressed findings; 2 — usage error (unknown rule id,
-missing path, or no python files under the given paths).
+pragma or baselined); 1 — unsuppressed findings, or the ``--max-seconds``
+budget was exceeded; 2 — usage error (unknown rule id, missing path,
+no python files under the given paths, or an unreadable baseline).
+
+The full toolchain::
+
+    python -m repro.lint src tests benchmarks examples \
+        --jobs auto \
+        --sarif artifacts/reprolint.sarif \
+        --baseline .reprolint-baseline.json \
+        --max-seconds 30
+
+    python -m repro.lint --explain DET003        # rule documentation
+    python -m repro.lint src --write-baseline b.json   # adopt gradually
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import time
 from pathlib import Path
 
 from repro.lint.checkers import ALL_CHECKERS
-from repro.lint.engine import iter_python_files, lint_source
+from repro.lint.engine import iter_python_files, lint_paths
 
 __all__ = ["main"]
+
+
+def _resolve_jobs(spec: str) -> int:
+    if spec == "auto":
+        return max(1, (os.cpu_count() or 2) - 1)
+    try:
+        jobs = int(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid --jobs value: {spec!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("--jobs must be >= 1 (or 'auto')")
+    return jobs
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST-based determinism & simulation-safety analyzer "
+        description="AST/dataflow determinism & performance-contract analyzer "
         "for the HIERAS reproduction (rule catalog: DESIGN.md §8).",
     )
     parser.add_argument(
-        "paths", nargs="+",
-        help="files or directories to lint (e.g. `src tests`)",
+        "paths", nargs="*",
+        help="files or directories to lint (e.g. `src tests benchmarks examples`)",
     )
     parser.add_argument(
         "--select", default=None,
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--jobs", default="1", type=_resolve_jobs, metavar="N|auto",
+        help="worker processes for per-file analysis (default 1; "
+        "'auto' = cores-1)",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="also write findings as SARIF 2.1.0 to PATH",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppress findings whose fingerprints appear in this "
+        "baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write the run's findings as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print the documentation for one rule id (or pragma alias) "
+        "and exit",
+    )
+    parser.add_argument(
+        "--max-seconds", default=None, type=float, metavar="S",
+        help="fail (exit 1) if the whole run takes longer than S seconds "
+        "(CI runtime budget)",
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="suppress the per-file progress summary line",
     )
     args = parser.parse_args(argv)
+
+    if args.explain:
+        from repro.lint.explain import explain, rule_catalog
+
+        doc = explain(args.explain, ALL_CHECKERS)
+        if doc is None:
+            known = ", ".join(sorted(rule_catalog(ALL_CHECKERS)))
+            parser.error(f"unknown rule {args.explain!r} (known: {known})")
+        print(doc)
+        return 0
 
     checkers = ALL_CHECKERS
     if args.select:
@@ -44,6 +108,8 @@ def main(argv: list[str] | None = None) -> int:
         if unknown:
             parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
 
+    if not args.paths:
+        parser.error("no paths given (and no --explain)")
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         parser.error(f"no such path(s): {' '.join(missing)}")
@@ -51,14 +117,56 @@ def main(argv: list[str] | None = None) -> int:
     if not files:
         parser.error(f"no python files under: {' '.join(args.paths)}")
 
-    findings = []
-    for file in files:
-        findings.extend(
-            lint_source(file, Path(file).read_text(encoding="utf-8"), checkers)
-        )
+    started = time.perf_counter()
+    findings = lint_paths(args.paths, checkers, jobs=args.jobs)
+    elapsed = time.perf_counter() - started
+
+    if args.write_baseline:
+        from repro.lint.baseline import write_baseline
+
+        write_baseline(args.write_baseline, findings)
+        if not args.quiet:
+            print(
+                f"reprolint: wrote baseline with {len(findings)} finding(s) "
+                f"to {args.write_baseline}"
+            )
+        return 0
+
+    baselined = 0
+    if args.baseline:
+        from repro.lint.baseline import load_baseline, partition
+
+        try:
+            known = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+        findings, baselined = partition(findings, known)
+
+    if args.sarif:
+        from repro.lint.sarif import write_sarif
+
+        sarif_path = Path(args.sarif)
+        if sarif_path.parent and not sarif_path.parent.exists():
+            sarif_path.parent.mkdir(parents=True, exist_ok=True)
+        write_sarif(sarif_path, findings, checkers, root=Path.cwd())
+
     for finding in findings:
         print(finding.render())
+
+    over_budget = args.max_seconds is not None and elapsed > args.max_seconds
     if not args.quiet:
         status = f"{len(findings)} finding(s)" if findings else "clean"
-        print(f"reprolint: {len(files)} file(s), {status}")
+        extras = []
+        if baselined:
+            extras.append(f"{baselined} baselined")
+        if args.jobs > 1:
+            extras.append(f"jobs={args.jobs}")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        print(f"reprolint: {len(files)} file(s), {status}{suffix} in {elapsed:.2f}s")
+    if over_budget:
+        print(
+            f"reprolint: runtime budget exceeded: {elapsed:.2f}s > "
+            f"--max-seconds {args.max_seconds:g}"
+        )
+        return 1
     return 1 if findings else 0

@@ -1,0 +1,48 @@
+"""Flow-sensitive analysis engine underneath ``reprolint`` (phase one).
+
+The syntactic checkers of PR 3 matched single expressions; they could
+not see a set laundered through a temp variable (``t = s; return
+list(t)``) or through a helper-call return.  This package supplies the
+machinery that closes those holes:
+
+* :mod:`repro.lint.dataflow.cfg` — per-function control-flow graphs
+  covering branches, loops, ``try``/``except``/``finally``, ``with``,
+  ``match``, comprehensions and walrus assignments.
+* :mod:`repro.lint.dataflow.reaching` — classic reaching-definitions
+  over those CFGs (worklist fixpoint).
+* :mod:`repro.lint.dataflow.taint` — a small provenance lattice
+  (unordered-container and unseeded-RNG labels) propagated through
+  assignments, calls and returns, with per-module function summaries so
+  helper-call laundering is visible.
+
+Rules consume this via :meth:`repro.lint.engine.LintContext.flow`,
+which caches one :class:`~repro.lint.dataflow.taint.FunctionFlow` per
+function scope.
+"""
+
+from repro.lint.dataflow.cfg import CFG, Block, build_cfg
+from repro.lint.dataflow.reaching import ReachingDefinitions, definitions_in
+from repro.lint.dataflow.taint import (
+    CAPTURED,
+    SET_ORDER,
+    UNSEEDED_RNG,
+    VIEW_ORDER,
+    FunctionFlow,
+    analyze_function,
+    module_summaries,
+)
+
+__all__ = [
+    "CFG",
+    "Block",
+    "build_cfg",
+    "ReachingDefinitions",
+    "definitions_in",
+    "SET_ORDER",
+    "VIEW_ORDER",
+    "CAPTURED",
+    "UNSEEDED_RNG",
+    "FunctionFlow",
+    "analyze_function",
+    "module_summaries",
+]

@@ -1,0 +1,321 @@
+"""Per-function control-flow graphs for ``reprolint``.
+
+The CFG is statement-granular: each :class:`Block` holds a straight-line
+sequence of *elements* executed in order.  Elements are either plain
+``ast.stmt`` nodes or one of the small binding markers below, which give
+compound-statement headers a place in the flow:
+
+* :class:`TestExpr` — an ``if``/``while`` condition or ``match``
+  subject (walrus targets inside it are definitions);
+* :class:`ForBind` — one ``for`` header: evaluates ``iter`` and binds
+  the loop target on every entry into the body;
+* :class:`WithBind` — one ``with`` item binding its ``as`` name;
+* :class:`MatchBind` — one ``case`` pattern binding its captures;
+* :class:`ExceptBind` — one handler binding its ``as`` name.
+
+Exceptional flow is approximated the standard lint-grade way: every
+block created inside a ``try`` body gets an edge to each handler (any
+statement may raise), and ``finally`` bodies join every normal or
+exceptional exit of the statement.  That over-approximates feasible
+paths — which is the sound direction for the union-based analyses
+built on top (reaching definitions, taint).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Block",
+    "CFG",
+    "TestExpr",
+    "ForBind",
+    "WithBind",
+    "MatchBind",
+    "ExceptBind",
+    "Element",
+    "build_cfg",
+]
+
+
+@dataclass(frozen=True)
+class TestExpr:
+    """A branch condition (``if``/``while`` test, ``match`` subject)."""
+
+    expr: ast.expr
+
+
+@dataclass(frozen=True)
+class ForBind:
+    """A ``for`` header: evaluates ``node.iter``, binds ``node.target``."""
+
+    node: ast.For | ast.AsyncFor
+
+
+@dataclass(frozen=True)
+class WithBind:
+    """One ``with`` item: evaluates the context expr, binds ``as`` name."""
+
+    item: ast.withitem
+
+
+@dataclass(frozen=True)
+class MatchBind:
+    """One ``case`` arm: binds every capture name in the pattern."""
+
+    case: ast.match_case
+
+
+@dataclass(frozen=True)
+class ExceptBind:
+    """Entry of one ``except`` handler, binding its ``as`` name."""
+
+    handler: ast.ExceptHandler
+
+
+Element = ast.stmt | TestExpr | ForBind | WithBind | MatchBind | ExceptBind
+
+
+@dataclass
+class Block:
+    """A straight-line run of elements with explicit successor edges."""
+
+    idx: int
+    label: str = ""
+    elements: list[Element] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # compact: used in test failure output
+        return f"Block({self.idx}, {self.label!r}, succs={self.succs})"
+
+
+class CFG:
+    """A function's control-flow graph (single entry, single exit)."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry = self._new("entry").idx
+        self.exit = self._new("exit").idx
+
+    # ------------------------------------------------------------------
+    def _new(self, label: str = "") -> Block:
+        block = Block(idx=len(self.blocks), label=label)
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    # ------------------------------------------------------------------
+    def block(self, idx: int) -> Block:
+        return self.blocks[idx]
+
+    def elements(self) -> list[Element]:
+        """All elements in block order (for whole-graph scans)."""
+        out: list[Element] = []
+        for block in self.blocks:
+            out.extend(block.elements)
+        return out
+
+    def render(self) -> str:
+        """Readable dump used by the CFG-shape tests."""
+        lines = []
+        for b in self.blocks:
+            kinds = ",".join(type(e).__name__ for e in b.elements) or "-"
+            lines.append(f"{b.idx}[{b.label or 'block'}] ({kinds}) -> {sorted(b.succs)}")
+        return "\n".join(lines)
+
+
+class _LoopFrame:
+    """break/continue targets of the innermost enclosing loop."""
+
+    def __init__(self, head: int, after: int) -> None:
+        self.head = head
+        self.after = after
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.loops: list[_LoopFrame] = []
+        #: Stack of handler-entry lists for enclosing ``try`` bodies:
+        #: every block born inside a try body may jump to its handlers.
+        self.try_handlers: list[list[int]] = []
+
+    # ------------------------------------------------------------------
+    def _new_block(self, label: str = "") -> Block:
+        block = self.cfg._new(label)
+        for handlers in self.try_handlers:
+            for h in handlers:
+                self.cfg._edge(block.idx, h)
+        return block
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        first = self._new_block("body")
+        self.cfg._edge(self.cfg.entry, first.idx)
+        last = self._visit_body(body, first.idx)
+        if last is not None:
+            self.cfg._edge(last, self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _visit_body(self, body: list[ast.stmt], cur: int | None) -> int | None:
+        """Thread ``body`` through the graph; returns the fall-through
+        block index, or ``None`` when every path leaves (return/raise/
+        break/continue)."""
+        for stmt in body:
+            if cur is None:
+                # Unreachable code after a jump still gets a block so
+                # its definitions exist for the analyses.
+                cur = self._new_block("dead").idx
+            cur = self._visit_stmt(stmt, cur)
+        return cur
+
+    def _visit_stmt(self, stmt: ast.stmt, cur: int) -> int | None:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            cfg.block(cur).elements.append(TestExpr(stmt.test))
+            then = self._new_block("then")
+            cfg._edge(cur, then.idx)
+            then_end = self._visit_body(stmt.body, then.idx)
+            if stmt.orelse:
+                other = self._new_block("else")
+                cfg._edge(cur, other.idx)
+                other_end = self._visit_body(stmt.orelse, other.idx)
+            else:
+                other_end = cur  # false edge falls through
+            if then_end is None and other_end is None:
+                return None
+            join = self._new_block("join")
+            for end in (then_end, other_end):
+                if end is not None:
+                    cfg._edge(end, join.idx)
+            return join.idx
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self._new_block("loop-head")
+            cfg._edge(cur, head.idx)
+            if isinstance(stmt, ast.While):
+                head.elements.append(TestExpr(stmt.test))
+            else:
+                head.elements.append(ForBind(stmt))
+            after = self._new_block("loop-after")
+            cfg._edge(head.idx, after.idx)  # zero-iteration edge
+            self.loops.append(_LoopFrame(head.idx, after.idx))
+            body = self._new_block("loop-body")
+            cfg._edge(head.idx, body.idx)
+            body_end = self._visit_body(stmt.body, body.idx)
+            if body_end is not None:
+                cfg._edge(body_end, head.idx)  # back edge
+            self.loops.pop()
+            if stmt.orelse:
+                # ``else`` runs on normal loop exit; modelled on the
+                # zero/normal exit path before ``after``'s successors.
+                else_end = self._visit_body(stmt.orelse, after.idx)
+                return else_end
+            return after.idx
+
+        if isinstance(stmt, ast.Try):
+            handlers: list[int] = []
+            handler_blocks = []
+            for handler in stmt.handlers:
+                hblock = self._new_block("except")
+                hblock.elements.append(ExceptBind(handler))
+                handlers.append(hblock.idx)
+                handler_blocks.append((handler, hblock))
+            self.try_handlers.append(handlers)
+            body = self._new_block("try-body")
+            cfg._edge(cur, body.idx)
+            for h in handlers:  # the body's first block may raise too
+                cfg._edge(body.idx, h)
+            body_end = self._visit_body(stmt.body, body.idx)
+            self.try_handlers.pop()
+            if stmt.orelse:
+                if body_end is not None:
+                    body_end = self._visit_body(stmt.orelse, body_end)
+            ends: list[int] = [] if body_end is None else [body_end]
+            for handler, hblock in handler_blocks:
+                h_end = self._visit_body(handler.body, hblock.idx)
+                if h_end is not None:
+                    ends.append(h_end)
+            if stmt.finalbody:
+                fin = self._new_block("finally")
+                for end in ends:
+                    cfg._edge(end, fin.idx)
+                if not ends:
+                    # Every path raised/returned; finally still runs.
+                    cfg._edge(cur, fin.idx)
+                return self._visit_body(stmt.finalbody, fin.idx)
+            if not ends:
+                return None
+            join = self._new_block("join")
+            for end in ends:
+                cfg._edge(end, join.idx)
+            return join.idx
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                cfg.block(cur).elements.append(WithBind(item))
+            return self._visit_body(stmt.body, cur)
+
+        if isinstance(stmt, ast.Match):
+            cfg.block(cur).elements.append(TestExpr(stmt.subject))
+            ends = []
+            exhaustive = False
+            for case in stmt.cases:
+                arm = self._new_block("case")
+                cfg._edge(cur, arm.idx)
+                arm.elements.append(MatchBind(case))
+                if case.guard is not None:
+                    arm.elements.append(TestExpr(case.guard))
+                elif isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None:
+                    exhaustive = True  # bare ``case _:`` / ``case name:``
+                arm_end = self._visit_body(case.body, arm.idx)
+                if arm_end is not None:
+                    ends.append(arm_end)
+            join = self._new_block("join")
+            if not exhaustive:
+                cfg._edge(cur, join.idx)  # no-arm-matched edge
+            for end in ends:
+                cfg._edge(end, join.idx)
+            return None if exhaustive and not ends else join.idx
+
+        # ---- jump statements ------------------------------------------
+        if isinstance(stmt, ast.Return):
+            cfg.block(cur).elements.append(stmt)
+            cfg._edge(cur, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            cfg.block(cur).elements.append(stmt)
+            cfg._edge(cur, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                cfg._edge(cur, self.loops[-1].after)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                cfg._edge(cur, self.loops[-1].head)
+            return None
+
+        # ---- nested scopes are opaque single elements -----------------
+        # (each FunctionDef/ClassDef gets its own CFG from the caller)
+        cfg.block(cur).elements.append(stmt)
+        return cur
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of a function, or of a module's top level.
+
+    Nested function/class definitions are single opaque elements — they
+    define a name here and get their own graph when analyzed.
+    """
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+        body = func.body
+    else:  # pragma: no cover - defensive; lambdas have expression bodies
+        raise TypeError(f"cannot build a CFG for {type(func).__name__}")
+    return _Builder().build(body)

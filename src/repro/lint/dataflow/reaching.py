@@ -1,0 +1,218 @@
+"""Reaching definitions over a :class:`~repro.lint.dataflow.cfg.CFG`.
+
+A *definition* is ``(name, node)`` — a binding of ``name`` made by the
+AST node ``node``.  The analysis is the textbook forward may-analysis:
+``IN[b] = ∪ OUT[p]`` over predecessors, ``OUT[b] = gen(b) ∪ (IN[b] −
+kill(b))``, iterated to fixpoint with a worklist.  Within a block,
+per-element states are recovered by replaying the block's transfer.
+
+``reprolint`` rules use this for soundness fixtures and for the taint
+engine's treatment of loops/joins; the public surface is deliberately
+small.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+
+from repro.lint.dataflow.cfg import (
+    CFG,
+    Element,
+    ExceptBind,
+    ForBind,
+    MatchBind,
+    TestExpr,
+    WithBind,
+)
+
+__all__ = ["Definition", "ReachingDefinitions", "definitions_in", "target_names"]
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of ``name`` at a source location."""
+
+    name: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.name}@{self.line}:{self.col}"
+
+
+def target_names(target: ast.expr) -> list[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return target_names(target.value)
+    return []  # attribute / subscript stores bind no local
+
+
+def _pattern_names(pattern: ast.pattern) -> list[str]:
+    """Capture names bound by a ``match`` pattern."""
+    out: list[str] = []
+    for node in ast.walk(pattern):
+        if isinstance(node, (ast.MatchAs, ast.MatchStar)) and node.name:
+            out.append(node.name)
+        elif isinstance(node, ast.MatchMapping) and node.rest:
+            out.append(node.rest)
+    return out
+
+
+def _walrus_names(node: ast.AST) -> list[tuple[str, ast.AST]]:
+    """``(name, node)`` pairs for every ``:=`` under ``node``, without
+    descending into nested function/class scopes."""
+    out: list[tuple[str, ast.AST]] = []
+    stack: list[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(cur, ast.NamedExpr) and isinstance(cur.target, ast.Name):
+            out.append((cur.target.id, cur))
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+def definitions_in(element: Element) -> list[tuple[str, ast.AST]]:
+    """Every ``(name, node)`` binding performed by one CFG element."""
+    out: list[tuple[str, ast.AST]] = []
+    if isinstance(element, TestExpr):
+        return _walrus_names(element.expr)
+    if isinstance(element, ForBind):
+        out.extend(_walrus_names(element.node.iter))
+        out.extend((n, element.node) for n in target_names(element.node.target))
+        return out
+    if isinstance(element, WithBind):
+        out.extend(_walrus_names(element.item.context_expr))
+        if element.item.optional_vars is not None:
+            out.extend((n, element.item) for n in target_names(element.item.optional_vars))
+        return out
+    if isinstance(element, MatchBind):
+        return [(n, element.case) for n in _pattern_names(element.case.pattern)]
+    if isinstance(element, ExceptBind):
+        if element.handler.name:
+            return [(element.handler.name, element.handler)]
+        return []
+    # Plain statements ------------------------------------------------
+    node = element
+    if isinstance(node, ast.Assign):
+        out.extend(_walrus_names(node.value))
+        for target in node.targets:
+            out.extend((n, node) for n in target_names(target))
+    elif isinstance(node, ast.AnnAssign):
+        if node.value is not None:
+            out.extend(_walrus_names(node.value))
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            out.append((node.target.id, node))
+    elif isinstance(node, ast.AugAssign):
+        out.extend(_walrus_names(node.value))
+        if isinstance(node.target, ast.Name):
+            out.append((node.target.id, node))
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        out.append((node.name, node))
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            out.append(((alias.asname or alias.name).split(".")[0], node))
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name != "*":
+                out.append((alias.asname or alias.name, node))
+    elif isinstance(node, ast.Delete):
+        pass  # kills handled by consumers that care; rare in lint scope
+    elif isinstance(node, (ast.Expr, ast.Return, ast.Assert, ast.Raise)):
+        value = getattr(node, "value", None) or getattr(node, "test", None)
+        if value is not None:
+            out.extend(_walrus_names(value))
+    return out
+
+
+def _as_definition(name: str, node: ast.AST) -> Definition:
+    return Definition(
+        name=name,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+    )
+
+
+class ReachingDefinitions:
+    """Worklist reaching-definitions over one CFG.
+
+    Parameters
+    ----------
+    cfg:
+        The function's control-flow graph.
+    params:
+        Parameter names, treated as definitions live at entry.
+    """
+
+    def __init__(self, cfg: CFG, params: tuple[str, ...] = ()) -> None:
+        self.cfg = cfg
+        entry_defs = frozenset(Definition(p, 0, 0) for p in params)
+        gen_kill: list[tuple[frozenset[Definition], frozenset[str]]] = []
+        for block in cfg.blocks:
+            gen: dict[str, Definition] = {}
+            for element in block.elements:
+                for name, node in definitions_in(element):
+                    gen[name] = _as_definition(name, node)
+            gen_kill.append((frozenset(gen.values()), frozenset(gen)))
+
+        n = len(cfg.blocks)
+        self.block_in: list[frozenset[Definition]] = [frozenset()] * n
+        self.block_in[cfg.entry] = entry_defs
+        out: list[frozenset[Definition]] = [frozenset()] * n
+        out[cfg.entry] = entry_defs
+        work = deque(range(n))
+        while work:
+            idx = work.popleft()
+            block = cfg.blocks[idx]
+            if idx != cfg.entry:
+                merged: set[Definition] = set()
+                for p in block.preds:
+                    merged |= out[p]
+                self.block_in[idx] = frozenset(merged)
+            gen, kill = gen_kill[idx]
+            new_out = frozenset(
+                d for d in self.block_in[idx] if d.name not in kill
+            ) | gen
+            if new_out != out[idx]:
+                out[idx] = new_out
+                for s in block.succs:
+                    if s not in work:
+                        work.append(s)
+        self.block_out = out
+
+    # ------------------------------------------------------------------
+    def before_element(self, element: Element) -> frozenset[Definition]:
+        """Definitions reaching the start of ``element`` (replays the
+        owning block's transfer up to it)."""
+        for block in self.cfg.blocks:
+            if element in block.elements:
+                state = dict_by_name(self.block_in[block.idx])
+                for el in block.elements:
+                    if el is element:
+                        return frozenset(d for ds in state.values() for d in ds)
+                    for name, node in definitions_in(el):
+                        state[name] = {_as_definition(name, node)}
+                break
+        raise KeyError("element not in CFG")
+
+    def names_before(self, element: Element) -> frozenset[str]:
+        """Just the variable names defined before ``element``."""
+        return frozenset(d.name for d in self.before_element(element))
+
+
+def dict_by_name(defs: frozenset[Definition]) -> dict[str, set[Definition]]:
+    """Group a definition set by variable name."""
+    out: dict[str, set[Definition]] = {}
+    for d in defs:
+        out.setdefault(d.name, set()).add(d)
+    return out

@@ -1,0 +1,472 @@
+"""Provenance (taint) analysis for the determinism contract.
+
+The lattice is a per-variable union of :class:`Taint` facts, each a
+``(label, origin line/col)`` pair.  Labels:
+
+``set-order`` (:data:`SET_ORDER`)
+    The value is a genuine unordered container — ``set``/``frozenset``
+    by literal, constructor, comprehension, set algebra, or a helper
+    call whose summary says it returns one.  Iterating or materialising
+    it leaks hash order.
+``view-order`` (:data:`VIEW_ORDER`)
+    The value is a ``dict`` view (``.items()/.keys()/.values()``).
+    Iteration order is the dict's insertion order — suspect when it can
+    reach a result, per DESIGN.md §8.
+``captured-order`` (:data:`CAPTURED`)
+    An *ordered* sequence whose element order was captured from an
+    unordered container (a comprehension or ``list``/``tuple``/numpy
+    materialiser over a ``set-order`` value).  The container type is
+    deterministic; its order is not — returning or serialising it is a
+    finding even though it is "just a list".
+``unseeded-rng`` (:data:`UNSEEDED_RNG`)
+    The value came from an RNG constructor that drew OS entropy
+    (``np.random.default_rng()`` with no seed).
+
+Propagation is flow-sensitive over the
+:mod:`~repro.lint.dataflow.cfg` graph: reassignment kills
+(``s = sorted(s)`` cleans ``s``), joins union, loops iterate to
+fixpoint.  ``sorted``/``sum``/``min``/... sanitize; order-preserving
+wrappers (``enumerate``/``zip``/``reversed``/...) propagate.  Helper
+calls resolve through per-module :func:`module_summaries`, which is
+what catches laundering through a function return.
+
+Walrus assignments are handled *inside* expression evaluation:
+:func:`taint_expr` binds ``x := e`` into the environment it is given.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.lint.dataflow.cfg import (
+    CFG,
+    Element,
+    ExceptBind,
+    ForBind,
+    MatchBind,
+    TestExpr,
+    WithBind,
+    build_cfg,
+)
+from repro.lint.dataflow.reaching import _pattern_names, target_names
+
+__all__ = [
+    "SET_ORDER",
+    "VIEW_ORDER",
+    "CAPTURED",
+    "UNSEEDED_RNG",
+    "Taint",
+    "TaintEnv",
+    "taint_expr",
+    "FunctionFlow",
+    "analyze_function",
+    "module_summaries",
+]
+
+SET_ORDER = "set-order"
+VIEW_ORDER = "view-order"
+CAPTURED = "captured-order"
+UNSEEDED_RNG = "unseeded-rng"
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One provenance fact: ``label`` acquired at ``line:col``."""
+
+    label: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.label}@{self.line}:{self.col}"
+
+
+TaintSet = frozenset[Taint]
+TaintEnv = dict[str, TaintSet]
+EMPTY: TaintSet = frozenset()
+
+#: Callables that erase ordering provenance entirely.
+_SANITIZERS = frozenset(
+    {"sorted", "sum", "min", "max", "len", "any", "all", "bool", "float",
+     "int", "str", "repr", "dict", "Counter", "collections.Counter",
+     "math.fsum"}
+)
+#: Order-preserving wrappers: taint flows straight through.
+_TRANSPARENT = frozenset({"reversed", "iter", "enumerate", "zip", "map", "filter"})
+#: Sequence materialisers: capture the argument's current order.
+MATERIALIZERS = frozenset(
+    {"list", "tuple", "np.fromiter", "numpy.fromiter", "np.asarray",
+     "numpy.asarray", "np.array", "numpy.array"}
+)
+#: ``set``-returning methods when called on a set-tainted receiver.
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("items", "keys", "values")
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _mark(label: str, node: ast.AST) -> TaintSet:
+    return frozenset(
+        {Taint(label, getattr(node, "lineno", 0), getattr(node, "col_offset", 0))}
+    )
+
+
+def _only(labels: tuple[str, ...], taints: TaintSet) -> TaintSet:
+    return frozenset(t for t in taints if t.label in labels)
+
+
+def _has(taints: TaintSet, *labels: str) -> bool:
+    return any(t.label in labels for t in taints)
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    name = _dotted(base)
+    return name in ("set", "frozenset", "Set", "FrozenSet", "typing.Set")
+
+
+def taint_expr(
+    expr: ast.AST,
+    env: TaintEnv,
+    summaries: Mapping[str, frozenset[str]] | None = None,
+    self_class: str | None = None,
+) -> TaintSet:
+    """Provenance of ``expr`` under ``env``.
+
+    ``env`` is mutated for walrus targets (``x := e`` binds ``x``), so
+    callers probing a stored environment should pass a copy.
+    """
+    summaries = summaries or {}
+
+    def visit(node: ast.AST) -> TaintSet:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, EMPTY)
+        if isinstance(node, ast.NamedExpr):
+            value = visit(node.value)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = value
+            return value
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            if isinstance(node, ast.SetComp):
+                for gen in node.generators:
+                    visit(gen.iter)
+            return _mark(SET_ORDER, node)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            iters = frozenset().union(*(visit(g.iter) for g in node.generators))
+            if _has(iters, SET_ORDER, CAPTURED):
+                return _mark(CAPTURED, node)
+            return EMPTY  # dict views: materialising insertion order is allowed
+        if isinstance(node, ast.DictComp):
+            for gen in node.generators:
+                visit(gen.iter)
+            return EMPTY
+        if isinstance(node, ast.Call):
+            return _call(node)
+        if isinstance(node, ast.BoolOp):
+            return frozenset().union(*(visit(v) for v in node.values))
+        if isinstance(node, ast.BinOp):
+            left, right = visit(node.left), visit(node.right)
+            if isinstance(node.op, _SET_BINOPS) and _has(left | right, SET_ORDER):
+                return _only((SET_ORDER,), left | right)
+            return EMPTY
+        if isinstance(node, ast.IfExp):
+            visit(node.test)
+            return visit(node.body) | visit(node.orelse)
+        if isinstance(node, ast.Starred):
+            return visit(node.value)
+        if isinstance(node, (ast.Await, ast.UnaryOp)):
+            return visit(node.operand if isinstance(node, ast.UnaryOp) else node.value)
+        # Attribute loads, subscripts, constants, f-strings, lambdas,
+        # comparisons: untracked → clean.  Still walk for walrus defs.
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                visit(child)
+        return EMPTY
+
+    def _call(node: ast.Call) -> TaintSet:
+        arg_taints = [visit(a) for a in node.args]
+        for kw in node.keywords:
+            visit(kw.value)
+        dotted = _dotted(node.func) or ""
+        leaf = dotted.rsplit(".", 1)[-1]
+        # -- dict views ------------------------------------------------
+        if _is_dict_view(node):
+            if isinstance(node.func, ast.Attribute):
+                visit(node.func.value)
+            return _mark(VIEW_ORDER, node)
+        # -- constructors / builtins ----------------------------------
+        if dotted in ("set", "frozenset"):
+            return _mark(SET_ORDER, node)
+        if dotted in _SANITIZERS:
+            return EMPTY
+        if dotted in _TRANSPARENT:
+            merged = frozenset().union(*arg_taints) if arg_taints else EMPTY
+            return _only((SET_ORDER, VIEW_ORDER, CAPTURED), merged)
+        if dotted in MATERIALIZERS:
+            first = arg_taints[0] if arg_taints else EMPTY
+            if _has(first, SET_ORDER):
+                return _mark(CAPTURED, node)
+            return _only((CAPTURED,), first)
+        if dotted in ("np.random.default_rng", "numpy.random.default_rng"):
+            if not node.args and not node.keywords:
+                return _mark(UNSEEDED_RNG, node)
+            return EMPTY
+        # -- set methods on tainted receivers -------------------------
+        if isinstance(node.func, ast.Attribute):
+            receiver = visit(node.func.value)
+            if node.func.attr in _SET_METHODS and _has(receiver, SET_ORDER):
+                return _mark(SET_ORDER, node)
+            if node.func.attr == "sort":  # in-place sort sanitizes
+                return EMPTY
+        # -- helper calls through summaries ---------------------------
+        key: str | None = None
+        if isinstance(node.func, ast.Name):
+            key = node.func.id
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("self", "cls")
+            and self_class is not None
+        ):
+            key = f"{self_class}.{node.func.attr}"
+        if key is not None and key in summaries:
+            return frozenset(
+                Taint(label, node.lineno, node.col_offset)
+                for label in summaries[key]
+            )
+        return EMPTY
+
+    return visit(expr)
+
+
+def _join(a: TaintEnv, b: TaintEnv) -> TaintEnv:
+    out = dict(a)
+    for name, taints in b.items():
+        out[name] = out.get(name, EMPTY) | taints
+    return out
+
+
+def transfer(
+    element: Element,
+    env: TaintEnv,
+    summaries: Mapping[str, frozenset[str]],
+    self_class: str | None,
+) -> TaintEnv:
+    """Abstract semantics of one CFG element (returns a new env)."""
+    env = dict(env)
+
+    def assign_names(target: ast.expr, taints: TaintSet) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = taints
+        else:
+            for name in target_names(target):
+                env[name] = EMPTY  # unpacked elements: values, not order
+
+    if isinstance(element, TestExpr):
+        taint_expr(element.expr, env, summaries, self_class)
+        return env
+    if isinstance(element, ForBind):
+        taint_expr(element.node.iter, env, summaries, self_class)
+        for name in target_names(element.node.target):
+            env[name] = EMPTY
+        return env
+    if isinstance(element, WithBind):
+        taint_expr(element.item.context_expr, env, summaries, self_class)
+        if element.item.optional_vars is not None:
+            for name in target_names(element.item.optional_vars):
+                env[name] = EMPTY
+        return env
+    if isinstance(element, MatchBind):
+        for name in _pattern_names(element.case.pattern):
+            env[name] = EMPTY
+        return env
+    if isinstance(element, ExceptBind):
+        if element.handler.name:
+            env[element.handler.name] = EMPTY
+        return env
+
+    node = element
+    if isinstance(node, ast.Assign):
+        taints = taint_expr(node.value, env, summaries, self_class)
+        for target in node.targets:
+            assign_names(target, taints)
+    elif isinstance(node, ast.AnnAssign):
+        if node.value is not None:
+            taints = taint_expr(node.value, env, summaries, self_class)
+        else:
+            taints = EMPTY
+        if isinstance(node.target, ast.Name):
+            if _annotation_is_set(node.annotation):
+                taints = taints | _mark(SET_ORDER, node)
+            env[node.target.id] = taints
+    elif isinstance(node, ast.AugAssign):
+        taints = taint_expr(node.value, env, summaries, self_class)
+        if isinstance(node.target, ast.Name):
+            prior = env.get(node.target.id, EMPTY)
+            if isinstance(node.op, _SET_BINOPS) and _has(prior | taints, SET_ORDER):
+                env[node.target.id] = _only((SET_ORDER,), prior | taints)
+            # numeric/str accumulation keeps the target's prior taint
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        env[node.name] = EMPTY
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                env.pop(target.id, None)
+    else:
+        for child_value in _evaluated_exprs(node):
+            taint_expr(child_value, env, summaries, self_class)
+    return env
+
+
+def _evaluated_exprs(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, (ast.Expr, ast.Return)) and node.value is not None:
+        return [node.value]
+    if isinstance(node, ast.Assert):
+        return [node.test]
+    if isinstance(node, ast.Raise):
+        return [e for e in (node.exc, node.cause) if e is not None]
+    return []
+
+
+class FunctionFlow:
+    """Fixpoint taint states for one function (or module top level).
+
+    ``env_before(element)`` gives the abstract environment in force just
+    before an element executes; ``taint_of(expr, element)`` evaluates a
+    sub-expression of that element under it.
+    """
+
+    def __init__(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+        summaries: Mapping[str, frozenset[str]] | None = None,
+        self_class: str | None = None,
+    ) -> None:
+        self.func = func
+        self.summaries = dict(summaries or {})
+        self.self_class = self_class
+        self.cfg: CFG = build_cfg(func)
+        self._env_before: dict[int, TaintEnv] = {}
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        cfg = self.cfg
+        n = len(cfg.blocks)
+        block_in: list[TaintEnv] = [{} for _ in range(n)]
+        block_out: list[TaintEnv] = [{} for _ in range(n)]
+        work = deque(range(n))
+        while work:
+            idx = work.popleft()
+            block = cfg.blocks[idx]
+            if block.preds:
+                merged: TaintEnv = {}
+                for p in block.preds:
+                    merged = _join(merged, block_out[p])
+                block_in[idx] = merged
+            env = dict(block_in[idx])
+            for element in block.elements:
+                env = transfer(element, env, self.summaries, self.self_class)
+            if env != block_out[idx]:
+                block_out[idx] = env
+                for s in block.succs:
+                    if s not in work:
+                        work.append(s)
+        # Final pass: record per-element entry environments.
+        for block in cfg.blocks:
+            env = dict(block_in[block.idx])
+            for element in block.elements:
+                self._env_before[id(element)] = dict(env)
+                env = transfer(element, env, self.summaries, self.self_class)
+        self._block_out = block_out
+
+    # ------------------------------------------------------------------
+    def env_before(self, element: Element) -> TaintEnv:
+        return dict(self._env_before.get(id(element), {}))
+
+    def taint_of(self, expr: ast.AST, element: Element) -> TaintSet:
+        """Taint of ``expr`` as evaluated inside ``element``."""
+        return taint_expr(
+            expr, self.env_before(element), self.summaries, self.self_class
+        )
+
+    def return_labels(self) -> frozenset[str]:
+        """Labels carried by any value this function can return."""
+        labels: set[str] = set()
+        for element in self.cfg.elements():
+            if isinstance(element, ast.Return) and element.value is not None:
+                for taint in self.taint_of(element.value, element):
+                    labels.add(taint.label)
+        return frozenset(labels)
+
+
+def analyze_function(
+    func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+    summaries: Mapping[str, frozenset[str]] | None = None,
+    self_class: str | None = None,
+) -> FunctionFlow:
+    """Convenience constructor (mirrors :class:`FunctionFlow`)."""
+    return FunctionFlow(func, summaries, self_class)
+
+
+def _module_functions(
+    tree: ast.Module,
+) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    out: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, str | None]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node.name, node, None))
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append((f"{node.name}.{sub.name}", sub, node.name))
+    return out
+
+
+def module_summaries(tree: ast.Module, max_rounds: int = 8) -> dict[str, frozenset[str]]:
+    """Per-module function summaries: which callables return tainted
+    values.
+
+    Keys are ``name`` for module-level functions and ``Class.method``
+    for methods (resolved at call sites via ``self.method(...)``).
+    Iterated to fixpoint so transitive helpers (``a`` returns ``b()``'s
+    set) are covered; ``max_rounds`` bounds pathological chains.
+    """
+    funcs = _module_functions(tree)
+    summaries: dict[str, frozenset[str]] = {name: frozenset() for name, _, _ in funcs}
+    for _ in range(max_rounds):
+        changed = False
+        for name, func, cls in funcs:
+            labels = FunctionFlow(func, summaries, cls).return_labels()
+            if labels != summaries[name]:
+                summaries[name] = labels
+                changed = True
+        if not changed:
+            break
+    return summaries

@@ -11,6 +11,8 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from repro.lint.dataflow.cfg import ForBind, TestExpr, WithBind
+from repro.lint.dataflow.taint import CAPTURED, SET_ORDER, VIEW_ORDER
 from repro.lint.engine import Checker, Finding, LintContext, dotted_name
 
 __all__ = ["RngChecker", "WallClockChecker", "UnsortedIterationChecker"]
@@ -22,8 +24,9 @@ class RngChecker(Checker):
     In library code (``repro.*`` outside ``repro/util/rng.py``) any
     direct RNG construction or global seeding is banned — components
     take a ``Generator`` (or an int passed to ``make_rng``) so sibling
-    streams stay independent.  Tests may construct *seeded* generators
-    for fixture data, but unseeded construction, global seeding, and the
+    streams stay independent.  Test-grade code (``tests``/
+    ``benchmarks``/``examples``) may construct *seeded* generators for
+    fixture data, but unseeded construction, global seeding, and the
     stdlib ``random`` module are banned everywhere.
     """
 
@@ -31,10 +34,10 @@ class RngChecker(Checker):
     alias = "rng"
 
     def applies(self, ctx: LintContext) -> bool:
-        return (ctx.in_package("repro") and ctx.module != "repro.util.rng") or ctx.in_tests
+        return (ctx.in_package("repro") and ctx.module != "repro.util.rng") or ctx.relaxed
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        strict = not ctx.in_tests
+        strict = not ctx.relaxed
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for name in node.names:
@@ -142,39 +145,40 @@ _RNG_CONSUMERS = frozenset({"choice", "shuffle", "permutation"})
 _SERIALIZERS = frozenset({"json.dump", "json.dumps"})
 
 
-def _is_dict_view(node: ast.AST) -> bool:
-    return (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Attribute)
-        and node.func.attr in ("items", "keys", "values")
-        and not node.args
-        and not node.keywords
-    )
-
-
 class UnsortedIterationChecker(Checker):
     """DET003: unordered iteration must not reach results or artifacts.
 
-    Within each function it tracks locals that are definitely sets
-    (assigned from a set literal/constructor/comprehension or annotated
-    ``set[...]``) and flags three shapes:
+    Flow-sensitive since v2: each function (and the module top level)
+    gets a taint analysis over its CFG
+    (:class:`repro.lint.dataflow.taint.FunctionFlow`) tracking which
+    names hold genuinely unordered containers (``set-order``), dict
+    views (``view-order``), or ordered sequences whose element order
+    was *captured* from an unordered container (``captured-order``) —
+    including values laundered through intermediate assignments and
+    same-module helper-call returns (via
+    :func:`~repro.lint.dataflow.taint.module_summaries`).  Four shapes
+    are flagged:
 
     1. **Materialization**: ``list``/``tuple``/``np.fromiter``/
-       ``np.asarray`` over a set expression — capturing a set's
-       (hash-dependent) order into a sequence.
+       ``np.asarray`` over a ``set-order`` value — capturing a set's
+       (hash-dependent) order into a sequence, no matter how many
+       assignments sit between the set and the capture.
     2. **Order-sensitive loops**: ``for`` over a set or ``dict`` view
        whose body returns/yields, appends/extends to a name the
        function returns, or subscript-stores into a local that escapes
        (is returned or assigned onto ``self``).
     3. **Order-sensitive comprehensions**: list/generator/dict
-       comprehensions over a set or ``dict`` view that sit inside a
+       comprehensions over an unordered iterable that sit inside a
        ``return``/``yield`` value or feed ``json.dump(s)`` or an RNG
        ``choice``/``shuffle``/``permutation``.
+    4. **Escaping captures**: ``return``/``yield`` of a name whose
+       value carries ``captured-order`` taint (``t = list(s); return
+       t``).
 
-    Wrapping the iterable in ``sorted(...)`` — or consuming it with an
-    order-insensitive reducer (``sum``/``min``/``set``/...) — silences
-    the rule.  Pure accumulation loops (``total += v``) and membership
-    scans never trigger it.
+    Reassignment kills taint — ``s = sorted(s)`` cleans ``s``, and
+    consuming with an order-insensitive reducer (``sum``/``min``/
+    ``set``/...) is always silent.  Pure accumulation loops
+    (``total += v``) and membership scans never trigger it.
     """
 
     rule = "DET003"
@@ -188,36 +192,7 @@ class UnsortedIterationChecker(Checker):
             "repro.loadgen",
         )
 
-    # -- set-typed local tracking --------------------------------------
-    @staticmethod
-    def _is_set_expr(node: ast.AST, set_locals: set[str]) -> bool:
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return True
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-            if node.func.id in ("set", "frozenset"):
-                return True
-        if isinstance(node, ast.Name) and node.id in set_locals:
-            return True
-        return False
-
-    @staticmethod
-    def _annotation_is_set(annotation: ast.AST) -> bool:
-        base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
-        name = dotted_name(base)
-        return name in ("set", "frozenset", "Set", "FrozenSet", "typing.Set")
-
-    def _collect_set_locals(self, func: ast.AST) -> set[str]:
-        out: set[str] = set()
-        for node in ast.walk(func):
-            if isinstance(node, ast.Assign) and len(node.targets) == 1:
-                target = node.targets[0]
-                if isinstance(target, ast.Name) and self._is_set_expr(node.value, out):
-                    out.add(target.id)
-            elif isinstance(node, ast.AnnAssign):
-                if isinstance(node.target, ast.Name) and self._annotation_is_set(node.annotation):
-                    out.add(node.target.id)
-        return out
-
+    # -- escape analysis (syntactic, per scope) ------------------------
     @staticmethod
     def _returned_names(func: ast.AST) -> set[str]:
         """Names that the function returns or yields (directly)."""
@@ -241,41 +216,25 @@ class UnsortedIterationChecker(Checker):
         return out
 
     # -- trigger classification ----------------------------------------
-    def _unsorted_iterable(self, node: ast.AST, set_locals: set[str]) -> str | None:
-        """Classify ``node``: 'set', 'view', or None (ordered/unknown)."""
-        if self._is_set_expr(node, set_locals):
+    @staticmethod
+    def _kind_of(taints) -> str | None:
+        """Collapse a taint set to 'set' / 'view' / 'captured' / None."""
+        labels = {t.label for t in taints}
+        if SET_ORDER in labels:
             return "set"
-        if _is_dict_view(node):
+        if VIEW_ORDER in labels:
             return "view"
+        if CAPTURED in labels:
+            return "captured"
         return None
 
-    def _check_function(self, ctx: LintContext, func: ast.AST) -> Iterator[Finding]:
-        set_locals = self._collect_set_locals(func)
-        returned = self._returned_names(func)
-        escaping = self._escaping_locals(func, returned)
-
-        for node in ast.walk(func):
-            # Don't descend into nested defs: ast.walk does, but nested
-            # functions get their own pass from check(); skipping here
-            # avoids duplicate findings with the wrong local tables.
-            if node is not func and isinstance(
-                node, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
-                continue
-            if isinstance(node, ast.Call):
-                yield from self._check_materialization(ctx, node, set_locals)
-            elif isinstance(node, ast.For):
-                yield from self._check_for(ctx, node, set_locals, returned, escaping)
-            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
-                yield from self._check_comprehension(ctx, node, set_locals)
-
     def _check_materialization(
-        self, ctx: LintContext, node: ast.Call, set_locals: set[str]
+        self, ctx: LintContext, flow, element, node: ast.Call
     ) -> Iterator[Finding]:
         dotted = dotted_name(node.func)
         if dotted not in _MATERIALIZERS or not node.args:
             return
-        if self._unsorted_iterable(node.args[0], set_locals) == "set":
+        if self._kind_of(flow.taint_of(node.args[0], element)) == "set":
             yield ctx.finding(
                 node, self.rule,
                 f"`{dotted}(...)` captures a set's arbitrary order into a "
@@ -285,13 +244,14 @@ class UnsortedIterationChecker(Checker):
     def _check_for(
         self,
         ctx: LintContext,
-        node: ast.For,
-        set_locals: set[str],
+        flow,
+        element,
         returned: set[str],
         escaping: set[str],
     ) -> Iterator[Finding]:
-        kind = self._unsorted_iterable(node.iter, set_locals)
-        if kind is None:
+        node = element.node
+        kind = self._kind_of(flow.taint_of(node.iter, element))
+        if kind not in ("set", "view"):
             return
         reason = self._order_sensitive_body(node, returned, escaping)
         if reason is not None:
@@ -339,21 +299,42 @@ class UnsortedIterationChecker(Checker):
     def _check_comprehension(
         self,
         ctx: LintContext,
+        flow,
+        element,
         node: ast.ListComp | ast.GeneratorExp | ast.DictComp,
-        set_locals: set[str],
     ) -> Iterator[Finding]:
-        kinds = [self._unsorted_iterable(gen.iter, set_locals) for gen in node.generators]
-        if not any(kinds):
+        kinds = [
+            self._kind_of(flow.taint_of(gen.iter, element)) for gen in node.generators
+        ]
+        if not any(k in ("set", "view") for k in kinds):
             return
         context = self._comprehension_sink(ctx, node)
         if context is None:
             return
-        bad = next(k for k in kinds if k)
+        bad = next(k for k in kinds if k in ("set", "view"))
         what = "a set" if bad == "set" else "an unsorted dict view"
         yield ctx.finding(
             node, self.rule,
             f"comprehension over {what} {context}; wrap the iterable in sorted(...)",
         )
+
+    def _check_escape(
+        self, ctx: LintContext, flow, element, node: ast.AST
+    ) -> Iterator[Finding]:
+        """``return``/``yield`` of a name carrying captured-order taint."""
+        value = node.value
+        if not isinstance(value, ast.Name):
+            return
+        env = flow.env_before(element)
+        taints = env.get(value.id, frozenset())
+        if any(t.label == CAPTURED for t in taints):
+            origin = next(t for t in taints if t.label == CAPTURED)
+            yield ctx.finding(
+                node, self.rule,
+                f"`{value.id}` escapes with element order captured from an "
+                f"unordered container (line {origin.line}); sort before "
+                "materialising",
+            )
 
     @staticmethod
     def _comprehension_sink(ctx: LintContext, node: ast.AST) -> str | None:
@@ -379,16 +360,58 @@ class UnsortedIterationChecker(Checker):
         return None
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _exprs_of(element) -> list[ast.AST]:
+        """The expression trees one CFG element evaluates."""
+        if isinstance(element, TestExpr):
+            return [element.expr]
+        if isinstance(element, ForBind):
+            return [element.node.iter]
+        if isinstance(element, WithBind):
+            return [element.item.context_expr]
+        if isinstance(element, ast.stmt):
+            if isinstance(element, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                return []  # nested scopes get their own flow
+            return [
+                child for child in ast.iter_child_nodes(element)
+                if isinstance(child, ast.expr)
+            ]
+        return []
+
+    def _check_element(
+        self,
+        ctx: LintContext,
+        flow,
+        element,
+        returned: set[str],
+        escaping: set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(element, ForBind):
+            yield from self._check_for(ctx, flow, element, returned, escaping)
+        if isinstance(element, (ast.Return, ast.Yield)) and getattr(
+            element, "value", None
+        ) is not None:
+            yield from self._check_escape(ctx, flow, element, element)
+        for root in self._exprs_of(element):
+            for node in ast.walk(root):
+                if isinstance(node, ast.Lambda):
+                    continue
+                if isinstance(node, ast.Call):
+                    yield from self._check_materialization(ctx, flow, element, node)
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                    yield from self._check_comprehension(ctx, flow, element, node)
+                elif isinstance(node, ast.Yield) and node.value is not None:
+                    yield from self._check_escape(ctx, flow, element, node)
+
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        scopes: list[ast.AST] = [ctx.tree]
-        scopes += [
-            n for n in ast.walk(ctx.tree)
-            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
-        ]
         seen: set[tuple[int, int, str]] = set()
-        for scope in scopes:
-            for finding in self._check_function(ctx, scope):
-                key = (finding.line, finding.col, finding.message)
-                if key not in seen:
-                    seen.add(key)
-                    yield finding
+        for scope in ctx.scopes():
+            flow = ctx.flow(scope)
+            returned = self._returned_names(scope)
+            escaping = self._escaping_locals(scope, returned)
+            for element in flow.cfg.elements():
+                for finding in self._check_element(ctx, flow, element, returned, escaping):
+                    key = (finding.line, finding.col, finding.message)
+                    if key not in seen:
+                        seen.add(key)
+                        yield finding

@@ -5,7 +5,18 @@ A :class:`Checker` walks one parsed module (wrapped in a
 is responsible for everything rule-independent: discovering files,
 mapping paths to dotted module names, parsing suppression pragmas from
 the token stream (so pragmas inside string literals are *not* honoured),
-and filtering findings against them.
+filtering findings against them, flagging pragmas that no longer
+suppress anything (**LNT002**), and stamping every surviving finding
+with a stable fingerprint for ``--baseline`` files and SARIF output.
+
+Since the v2 (dataflow) rewrite the engine also runs in *project mode*:
+:func:`lint_paths` first scans every file into a
+:class:`~repro.lint.facts.ProjectFacts` snapshot (import graph,
+hot-module manifest, rebuild-caller closure) and hands it to each
+file's :class:`LintContext`, optionally fanning files out over worker
+processes (``jobs > 1``).  Flow-sensitive rules get per-scope
+control-flow/taint analyses from :meth:`LintContext.flow`, computed
+lazily and cached.
 
 Pragma grammar (one per comment)::
 
@@ -20,12 +31,16 @@ contract is documented at the site that makes it.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
 from pathlib import Path
 from collections.abc import Iterable, Iterator, Sequence
+
+from repro.lint.facts import ProjectFacts, build_facts, default_facts
 
 __all__ = [
     "Finding",
@@ -35,9 +50,14 @@ __all__ = [
     "lint_source",
     "lint_paths",
     "iter_python_files",
+    "module_name_for",
 ]
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*allow-(?P<names>[A-Za-z0-9_,-]+)(?:\s*--\s*(?P<reason>\S.*))?")
+
+#: Engine-level rule ids that are not Checker subclasses but are still
+#: addressable from pragmas (``# lint: allow-lnt002 -- ...``).
+_ENGINE_ALIASES = {"lnt002": "lnt002", "unused-suppression": "lnt002"}
 
 
 @dataclass(frozen=True)
@@ -52,6 +72,10 @@ class Finding:
     #: Last physical line of the flagged statement — pragmas anywhere in
     #: ``[line, end_line]`` suppress the finding.  Not part of rendering.
     end_line: int = 0
+    #: Stable identity for baselines/SARIF: hashes the module name, rule
+    #: and normalised source line (not the line *number*), so findings
+    #: survive unrelated edits above them.  Stamped by the engine.
+    fingerprint: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -101,10 +125,12 @@ def module_name_for(path: Path) -> str:
 
     ``src/repro/dht/chord.py`` → ``repro.dht.chord``;
     ``tests/test_chord.py`` → ``tests.test_chord``; package
-    ``__init__.py`` files name the package itself.
+    ``__init__.py`` files name the package itself.  ``benchmarks/`` and
+    ``examples/`` anchor the same way so scope rules can single them
+    out.
     """
     parts = list(path.parts)
-    for anchor in ("repro", "tests", "benchmarks"):
+    for anchor in ("repro", "tests", "benchmarks", "examples"):
         if anchor in parts:
             rel = parts[parts.index(anchor):]
             if rel[-1].endswith(".py"):
@@ -118,16 +144,25 @@ def module_name_for(path: Path) -> str:
 class LintContext:
     """Everything a checker needs to know about one module."""
 
-    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+    def __init__(
+        self,
+        path: Path,
+        source: str,
+        tree: ast.Module,
+        facts: ProjectFacts | None = None,
+    ) -> None:
         self.path = path
         self.source = source
         self.tree = tree
         self.module = module_name_for(path)
+        self.facts = facts if facts is not None else default_facts()
         self.suppressions = _parse_suppressions(source)
         self._parents: dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
                 self._parents[child] = parent
+        self._flows: dict[int, object] = {}
+        self._summaries: dict[str, frozenset[str]] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -136,11 +171,23 @@ class LintContext:
             "tests", "benchmarks",
         )
 
+    @property
+    def relaxed(self) -> bool:
+        """Test-grade scope: tests, benchmarks and examples."""
+        return self.in_tests or self.module.startswith("examples.") or (
+            self.module == "examples"
+        )
+
     def in_package(self, *prefixes: str) -> bool:
         """Whether the module sits inside any of the dotted ``prefixes``."""
         return any(
             self.module == p or self.module.startswith(p + ".") for p in prefixes
         )
+
+    @property
+    def hot(self) -> bool:
+        """Whether this module is on the hot path (facts manifest)."""
+        return self.facts.is_hot(self.module)
 
     # ------------------------------------------------------------------
     def parent(self, node: ast.AST) -> ast.AST | None:
@@ -152,6 +199,47 @@ class LintContext:
         while cur is not None:
             yield cur
             cur = self._parents.get(cur)
+
+    def enclosing_class(self, node: ast.AST) -> str | None:
+        """Name of the class whose body (transitively) holds ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor.name
+        return None
+
+    # ------------------------------------------------------------------
+    # flow-sensitive analyses (lazy, cached per scope)
+    # ------------------------------------------------------------------
+    @property
+    def summaries(self) -> dict[str, frozenset[str]]:
+        """Per-module taint summaries of every function's return value."""
+        if self._summaries is None:
+            from repro.lint.dataflow.taint import module_summaries
+
+            self._summaries = module_summaries(self.tree)
+        return self._summaries
+
+    def flow(self, scope: ast.AST):
+        """The cached :class:`~repro.lint.dataflow.taint.FunctionFlow`
+        for one function scope (or the module itself)."""
+        key = id(scope)
+        if key not in self._flows:
+            from repro.lint.dataflow.taint import FunctionFlow
+
+            self_class = None
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self_class = self.enclosing_class(scope)
+            self._flows[key] = FunctionFlow(scope, self.summaries, self_class)
+        return self._flows[key]
+
+    def scopes(self) -> list[ast.AST]:
+        """The module plus every (nested) function definition."""
+        out: list[ast.AST] = [self.tree]
+        out += [
+            n for n in ast.walk(self.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        return out
 
     def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
         """Build a finding anchored at ``node`` (span-aware for pragmas)."""
@@ -185,7 +273,8 @@ class Checker:
     short pragma name), restrict themselves via :meth:`applies`, and
     yield findings from :meth:`check`.  To add a checker: subclass,
     implement both methods, append an instance to
-    :data:`repro.lint.checkers.ALL_CHECKERS` (see DESIGN.md §8).
+    :data:`repro.lint.checkers.ALL_CHECKERS` (see DESIGN.md §8 and the
+    rule-authoring guide in docs/DEVELOPMENT.md).
     """
 
     rule: str = ""
@@ -202,18 +291,50 @@ class Checker:
 def _alias_table(checkers: Sequence[Checker]) -> dict[str, str]:
     aliases = {c.alias: c.rule.lower() for c in checkers if c.alias}
     aliases.update({c.rule.lower(): c.rule.lower() for c in checkers})
+    aliases.update(_ENGINE_ALIASES)
     return aliases
+
+
+def _normalised_line(source_lines: list[str], line: int) -> str:
+    if 1 <= line <= len(source_lines):
+        return " ".join(source_lines[line - 1].split())
+    return ""
+
+
+def _stamp_fingerprints(
+    findings: list[Finding], module: str, source: str
+) -> list[Finding]:
+    """Attach stable identities: hash of module, rule, normalised line
+    text and an occurrence index (for identical lines)."""
+    lines = source.splitlines()
+    seen: dict[tuple[str, str], int] = {}
+    out = []
+    for f in sorted(findings, key=lambda f: (f.line, f.col, f.rule)):
+        text = _normalised_line(lines, f.line)
+        key = (f.rule, text)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        digest = hashlib.sha256(
+            f"{module}\x1f{f.rule}\x1f{text}\x1f{occurrence}".encode()
+        ).hexdigest()[:20]
+        out.append(replace(f, fingerprint=digest))
+    return out
 
 
 def lint_source(
     path: Path | str,
     source: str,
     checkers: Sequence[Checker],
+    facts: ProjectFacts | None = None,
 ) -> list[Finding]:
     """Lint one module's source; returns unsuppressed findings.
 
     Syntax errors surface as a single ``LNT000`` finding.  Reasonless
-    pragmas each produce an ``LNT100`` finding and suppress nothing.
+    pragmas each produce an ``LNT100`` finding and suppress nothing; a
+    reasoned pragma that suppresses nothing produces an ``LNT002``
+    (unused suppression) so stale exceptions get cleaned up — but only
+    when every rule it names is active in this run, so ``--select``
+    subsets never misreport.
     """
     path = Path(path)
     try:
@@ -225,16 +346,21 @@ def lint_source(
                 rule="LNT000", message=f"syntax error: {exc.msg}",
             )
         ]
-    ctx = LintContext(path, source, tree)
+    ctx = LintContext(path, source, tree, facts)
     aliases = _alias_table(checkers)
+    active_rules = {c.rule.lower() for c in checkers} | set(_ENGINE_ALIASES.values())
     raw: list[Finding] = []
     for checker in checkers:
         if checker.applies(ctx):
             raw.extend(checker.check(ctx))
-    kept = [
-        f for f in raw
-        if not any(s.covers(f, aliases) for s in ctx.suppressions)
-    ]
+    kept = []
+    used: set[int] = set()
+    for f in raw:
+        covering = [s for s in ctx.suppressions if s.covers(f, aliases)]
+        if covering:
+            used.update(id(s) for s in covering)
+        else:
+            kept.append(f)
     for sup in ctx.suppressions:
         if not sup.reason:
             kept.append(
@@ -247,6 +373,23 @@ def lint_source(
                     end_line=sup.line,
                 )
             )
+        elif id(sup) not in used and all(
+            aliases.get(name, name) in active_rules for name in sup.names
+        ):
+            lnt002 = Finding(
+                path=str(path), line=sup.line, col=1, rule="LNT002",
+                message=(
+                    "unused suppression: `# lint: allow-"
+                    + ",".join(sup.names)
+                    + "` no longer matches any finding — delete the pragma"
+                ),
+                end_line=sup.line,
+            )
+            # LNT002 is itself suppressible (e.g. pragmas documenting
+            # platform-specific rules that fire elsewhere).
+            if not any(s.covers(lnt002, aliases) for s in ctx.suppressions):
+                kept.append(lnt002)
+    kept = _stamp_fingerprints(kept, ctx.module, source)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return kept
 
@@ -261,14 +404,47 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
             yield p
 
 
+def _read(path: Path) -> str:
+    return path.read_text(encoding="utf-8")
+
+
+def project_facts(files: Sequence[Path]) -> ProjectFacts:
+    """Build the cross-module facts snapshot for one run."""
+    return build_facts((p, _read(p)) for p in files)
+
+
+def _lint_one(
+    args: tuple[str, Sequence[Checker], ProjectFacts],
+) -> list[Finding]:
+    """Worker body for parallel runs (must stay module-level picklable)."""
+    path_str, checkers, facts = args
+    path = Path(path_str)
+    return lint_source(path, _read(path), checkers, facts)
+
+
 def lint_paths(
     paths: Iterable[Path | str],
     checkers: Sequence[Checker],
+    *,
+    jobs: int = 1,
 ) -> list[Finding]:
-    """Lint every python file under ``paths``."""
+    """Lint every python file under ``paths``.
+
+    Builds one :class:`~repro.lint.facts.ProjectFacts` over the whole
+    file set first (phase one), then runs the per-file rule passes —
+    serially, or over ``jobs`` worker processes.  Output order is
+    deterministic either way.
+    """
+    files = list(iter_python_files(paths))
+    facts = project_facts(files)
     findings: list[Finding] = []
-    for file in iter_python_files(paths):
-        findings.extend(
-            lint_source(file, file.read_text(encoding="utf-8"), checkers)
-        )
+    if jobs > 1 and len(files) > 1:
+        tasks = [(str(f), checkers, facts) for f in files]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for result in pool.map(_lint_one, tasks, chunksize=8):
+                findings.extend(result)
+    else:
+        for file in files:
+            findings.extend(lint_source(file, _read(file), checkers, facts))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

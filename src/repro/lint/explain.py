@@ -1,0 +1,72 @@
+"""``--explain RULE``: rule documentation straight from the source.
+
+Every checker's class docstring *is* its documentation — the same text
+feeds ``--explain``, the SARIF rule catalog, and the README's rule
+table, so the three can never drift apart.  Engine-level rules that are
+not :class:`~repro.lint.engine.Checker` subclasses (LNT000/LNT100/
+LNT002) are documented here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.lint.engine import Checker
+
+__all__ = ["ENGINE_RULES", "explain", "first_line", "rule_catalog"]
+
+#: Rules emitted by the engine itself rather than a Checker.
+ENGINE_RULES: dict[str, str] = {
+    "LNT000": (
+        "LNT000: the file does not parse.\n\n"
+        "A syntax error stops every other rule for the file; the single\n"
+        "LNT000 finding carries the parser's message and location."
+    ),
+    "LNT100": (
+        "LNT100: suppression pragma without a reason.\n\n"
+        "The pragma grammar is `# lint: allow-<rule>[,<rule>...] -- <reason>`.\n"
+        "A reasonless pragma suppresses nothing (the underlying finding\n"
+        "still fires) and is itself reported, so every exception to the\n"
+        "determinism contract is documented at the site that makes it."
+    ),
+    "LNT002": (
+        "LNT002: unused suppression.\n\n"
+        "A reasoned `# lint: allow-...` pragma whose named rules are all\n"
+        "active in this run but which no longer matches any finding.  The\n"
+        "code it excused has been fixed or deleted; delete the pragma so\n"
+        "the remaining ones stay meaningful.  Not reported when `--select`\n"
+        "excludes any of the pragma's rules (the pragma might match under\n"
+        "the full rule set)."
+    ),
+}
+
+
+def first_line(doc: str) -> str:
+    """The headline of a rule doc (first non-empty line)."""
+    for line in doc.splitlines():
+        if line.strip():
+            return line.strip()
+    return doc.strip()
+
+
+def rule_catalog(checkers: Sequence[Checker]) -> dict[str, str]:
+    """``rule id -> full documentation`` for every known rule."""
+    catalog = {
+        c.rule: (c.__doc__ or c.rule).strip() for c in checkers
+    }
+    catalog.update(ENGINE_RULES)
+    return catalog
+
+
+def explain(rule: str, checkers: Sequence[Checker]) -> str | None:
+    """The documentation for ``rule`` (case-insensitive), or None."""
+    catalog = rule_catalog(checkers)
+    wanted = rule.upper()
+    for rule_id, doc in catalog.items():
+        if rule_id.upper() == wanted:
+            return doc
+    # Pragma aliases also resolve (``--explain unsorted``).
+    for checker in checkers:
+        if checker.alias and checker.alias.lower() == rule.lower():
+            return (checker.__doc__ or checker.rule).strip()
+    return None

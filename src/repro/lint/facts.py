@@ -1,0 +1,202 @@
+"""Cross-module facts for ``reprolint`` (phase one, project scope).
+
+Single-file checkers cannot know that ``repro.dht.chord`` sits on the
+batch engine's hot path, or that ``add_peer`` triggers a full ring
+rebuild two calls down.  A :class:`ProjectFacts` snapshot — built once
+per run from every file's AST, before any rule fires — carries exactly
+the whole-program knowledge the rule families need:
+
+* the **import graph** restricted to in-repo modules;
+* the **hot-module manifest** (``repro.dht``/``repro.engine``/
+  ``repro.cache``/``repro.core``) and its import closure, so PERF rules
+  scope by hotness instead of hard-coding module lists;
+* **project classes** (and which are dataclasses), so PERF001 flags
+  allocation of *our* per-peer record types, not arbitrary callables;
+* **rebuild callers** — the transitive name set of functions/methods
+  whose body reaches a ``_rebuild``/``rebuild`` call, so PERF002 can
+  flag a per-element mutation loop without seeing the callee's body.
+
+The snapshot is a frozen dataclass of plain strings, so it pickles
+cleanly into ``--jobs`` worker processes.  When no project context is
+available (single-file ``lint_source`` calls, unit fixtures),
+:func:`default_facts` supplies conservative name-based fallbacks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable
+
+__all__ = ["ProjectFacts", "build_facts", "default_facts", "HOT_MANIFEST"]
+
+#: Packages whose modules are on the routing/caching hot path.  The
+#: ROADMAP's million-peer scale-out is gated on these staying free of
+#: per-peer Python objects and per-element rebuilds.
+HOT_MANIFEST: tuple[str, ...] = (
+    "repro.dht",
+    "repro.engine",
+    "repro.cache",
+    "repro.core",
+)
+
+#: Method names that rebuild full routing state, and the singular
+#: mutators known to reach them; the seed of the transitive closure and
+#: the fallback when no project scan ran.
+_REBUILD_SEEDS = frozenset({"_rebuild", "rebuild", "rebuild_all"})
+_FALLBACK_MUTATORS = frozenset(
+    {"add_peer", "remove_peer", "revive_peer", "fail_peer"}
+)
+
+
+@dataclass(frozen=True)
+class ProjectFacts:
+    """Whole-project knowledge shared by every checker in one run."""
+
+    #: module → in-repo modules it imports.
+    import_graph: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: Every class defined anywhere in the linted tree.
+    project_classes: frozenset[str] = frozenset()
+    #: The subset of ``project_classes`` decorated ``@dataclass``.
+    dataclass_names: frozenset[str] = frozenset()
+    #: Function/method names whose bodies (transitively, by name) reach
+    #: a ``_rebuild``-family call.
+    rebuild_callers: frozenset[str] = frozenset(_REBUILD_SEEDS | _FALLBACK_MUTATORS)
+    #: Dotted package prefixes considered hot.
+    hot_manifest: tuple[str, ...] = HOT_MANIFEST
+
+    # ------------------------------------------------------------------
+    def is_hot(self, module: str) -> bool:
+        """Whether ``module`` falls under the hot manifest."""
+        return any(
+            module == p or module.startswith(p + ".") for p in self.hot_manifest
+        )
+
+    def hot_closure(self) -> frozenset[str]:
+        """Hot-manifest modules plus everything they (transitively)
+        import in-repo — the full set of code reachable from a hot
+        entry point."""
+        seeds = [m for m in self.import_graph if self.is_hot(m)]
+        seen: set[str] = set(seeds)
+        stack = list(seeds)
+        while stack:
+            for dep in self.import_graph.get(stack.pop(), ()):
+                if dep not in seen:
+                    seen.add(dep)
+                    stack.append(dep)
+        return frozenset(seen)
+
+    def importers_of(self, module: str) -> frozenset[str]:
+        """Modules that import ``module`` directly."""
+        return frozenset(
+            m for m, deps in self.import_graph.items() if module in deps
+        )
+
+
+def default_facts() -> ProjectFacts:
+    """Conservative facts for single-file analysis (unit fixtures)."""
+    return ProjectFacts()
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def _imports_of(tree: ast.Module) -> set[str]:
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            out.add(node.module)
+    return out
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _called_names(func: ast.AST) -> set[str]:
+    """Leaf names of every call in ``func``'s body (``self.add_peer`` →
+    ``add_peer``)."""
+    out: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            target = node.func
+            if isinstance(target, ast.Attribute):
+                out.add(target.attr)
+            elif isinstance(target, ast.Name):
+                out.add(target.id)
+    return out
+
+
+def build_facts(
+    files: Iterable[tuple[Path | str, str]],
+    *,
+    hot_manifest: tuple[str, ...] = HOT_MANIFEST,
+) -> ProjectFacts:
+    """Scan ``(path, source)`` pairs into a :class:`ProjectFacts`.
+
+    Unparseable files are skipped here — the per-file lint pass reports
+    their syntax error as LNT000.
+    """
+    from repro.lint.engine import module_name_for  # cycle-free at call time
+
+    import_graph: dict[str, frozenset[str]] = {}
+    classes: set[str] = set()
+    dataclasses: set[str] = set()
+    calls_by_func: dict[str, set[str]] = {}
+
+    trees: list[tuple[str, ast.Module]] = []
+    for path, source in files:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        trees.append((module_name_for(Path(path)), tree))
+
+    module_names = {name for name, _ in trees}
+    for name, tree in trees:
+        deps = set()
+        for imported in _imports_of(tree):
+            # Longest in-repo prefix wins: ``from repro.dht.chord import X``
+            # depends on ``repro.dht.chord``; bare ``repro.dht`` likewise.
+            probe = imported
+            while probe:
+                if probe in module_names:
+                    deps.add(probe)
+                    break
+                probe = probe.rpartition(".")[0]
+        import_graph[name] = frozenset(deps - {name})
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                classes.add(node.name)
+                if _is_dataclass_decorated(node):
+                    dataclasses.add(node.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                calls_by_func.setdefault(node.name, set()).update(_called_names(node))
+
+    # Transitive closure by callee *name*: sound enough for PERF002's
+    # purpose (flagging per-element mutation loops) and cheap.
+    rebuilders: set[str] = set(_REBUILD_SEEDS)
+    changed = True
+    while changed:
+        changed = False
+        for fname, callees in calls_by_func.items():
+            if fname not in rebuilders and callees & rebuilders:
+                rebuilders.add(fname)
+                changed = True
+
+    return ProjectFacts(
+        import_graph=import_graph,
+        project_classes=frozenset(classes),
+        dataclass_names=frozenset(dataclasses),
+        rebuild_callers=frozenset(rebuilders),
+        hot_manifest=hot_manifest,
+    )

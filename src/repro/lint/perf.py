@@ -1,0 +1,226 @@
+"""Hot-path performance contracts: PERF001, PERF002, PERF003.
+
+The ROADMAP's million-peer scale-out rests on three structural
+invariants of the hot packages (the facts manifest: ``repro.dht``,
+``repro.engine``, ``repro.cache``, ``repro.core``):
+
+* routing state is struct-of-arrays, so per-peer work must not allocate
+  a Python object per element (**PERF001**);
+* membership churn is amortised — one rebuild per wave, never one per
+  peer (**PERF002**);
+* SoA arrays carry explicit narrow dtypes, so numpy constructors must
+  not silently widen to the platform default ``int64``/``float64``
+  (**PERF003**).
+
+All three rules scope themselves through
+:class:`~repro.lint.facts.ProjectFacts` — hotness comes from the
+manifest, per-peer record types from the project dataclass registry,
+and rebuild reachability from the transitive caller closure — so they
+stay accurate as the codebase grows without per-rule module lists.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.engine import Checker, Finding, LintContext, dotted_name
+
+__all__ = ["LoopAllocationChecker", "ChurnRebuildChecker", "DtypeWideningChecker"]
+
+_CAMEL = re.compile(r"^[A-Z][A-Za-z0-9]*$")
+_EXC_SUFFIXES = ("Error", "Exception", "Warning")
+
+_LOOPY = (ast.For, ast.AsyncFor, ast.While)
+_COMPS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _leaf_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _walk_no_nested_scopes(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that stops at nested function/class definitions."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                stack.append(child)
+
+
+class LoopAllocationChecker(Checker):
+    """PERF001: no per-element Python object allocation on hot paths.
+
+    Flags construction of a *project record type* — a class the facts
+    pass saw defined with ``@dataclass`` anywhere in the linted tree —
+    inside a ``for``/``while`` loop or comprehension in a hot-manifest
+    module.  One object per peer is exactly the allocation pattern the
+    struct-of-arrays refactor removed; per-peer state belongs in the
+    SoA columns, with record objects reserved for inspection APIs and
+    traced (cold) paths, which carry reasoned pragmas.
+
+    Exception classes and anything raised are exempt (error paths are
+    cold by definition), as are calls inside nested function
+    definitions (they get their own pass when called).
+
+    When no project scan ran (single-file fixtures), any CamelCase
+    callable counts as a record type.
+    """
+
+    rule = "PERF001"
+    alias = "loop-alloc"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.hot and not ctx.relaxed
+
+    def _is_record_type(self, ctx: LintContext, leaf: str) -> bool:
+        if not leaf or not _CAMEL.match(leaf) or leaf.endswith(_EXC_SUFFIXES):
+            return False
+        registry = ctx.facts.dataclass_names
+        return leaf in registry if registry else True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raised: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise):
+                for sub in ast.walk(node):
+                    raised.add(id(sub))
+        seen: set[int] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, _LOOPY + _COMPS):
+                continue
+            roots: list[ast.AST]
+            if isinstance(loop, _LOOPY):
+                roots = list(loop.body)
+            else:
+                roots = [loop.elt] if not isinstance(loop, ast.DictComp) else [
+                    loop.key, loop.value,
+                ]
+            for root in roots:
+                for sub in _walk_no_nested_scopes(root):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and id(sub) not in seen
+                        and id(sub) not in raised
+                        and self._is_record_type(ctx, _leaf_name(sub.func))
+                    ):
+                        seen.add(id(sub))
+                        yield ctx.finding(
+                            sub, self.rule,
+                            f"`{_leaf_name(sub.func)}(...)` allocates a record "
+                            "object per iteration on a hot path; keep per-peer "
+                            "state in SoA arrays and hoist object creation off "
+                            "the loop (ROADMAP scale-out)",
+                        )
+
+
+class ChurnRebuildChecker(Checker):
+    """PERF002: membership churn must amortise routing-state rebuilds.
+
+    The facts pass computes the transitive closure of callables whose
+    bodies reach a ``_rebuild``/``rebuild``/``rebuild_all`` call.  A
+    loop that calls a *singular* member of that closure (``remove_peer``
+    — any ``*_peer`` name, or a rebuild itself) once per iteration
+    re-sorts the full ring O(n) times per churn wave; the batch
+    variants (``add_peers``/``remove_peers``) exist precisely to
+    rebuild once.  Plural batch calls inside loops stay silent — one
+    rebuild per wave is the amortised pattern.
+    """
+
+    rule = "PERF002"
+    alias = "churn-rebuild"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return (ctx.hot or ctx.in_package("repro.faults")) and not ctx.relaxed
+
+    @staticmethod
+    def _singular(leaf: str) -> bool:
+        return leaf.endswith("_peer") or leaf in ("_rebuild", "rebuild", "rebuild_all")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        rebuilders = ctx.facts.rebuild_callers
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, _LOOPY):
+                continue
+            enclosing = next(
+                (
+                    a.name for a in ctx.ancestors(loop)
+                    if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ),
+                None,
+            )
+            for root in loop.body:
+                for sub in _walk_no_nested_scopes(root):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    leaf = _leaf_name(sub.func)
+                    if (
+                        leaf in rebuilders
+                        and self._singular(leaf)
+                        and leaf != enclosing  # the rebuilder's own loop
+                    ):
+                        yield ctx.finding(
+                            sub, self.rule,
+                            f"`{leaf}(...)` rebuilds full routing state once "
+                            "per loop iteration; use the batch variant "
+                            "(e.g. `remove_peers`) or rebuild once after the "
+                            "loop",
+                        )
+
+
+#: numpy constructors → index of their positional ``dtype`` argument.
+_NP_CONSTRUCTORS = {
+    "array": 1, "asarray": 1, "zeros": 1, "ones": 1, "empty": 1,
+    "fromiter": 1, "full": 2,
+}
+
+
+class DtypeWideningChecker(Checker):
+    """PERF003: numpy constructors on hot paths take an explicit dtype.
+
+    ``np.asarray([...])`` defaults to platform ``int64``/``float64``;
+    mixing that into the ``uint32``/``uint64`` SoA state declared by
+    the ring and zone tables silently widens every downstream
+    arithmetic op (and doubles memory at the million-peer target).
+    Every ``np.array``/``asarray``/``zeros``/``ones``/``empty``/
+    ``fromiter``/``full`` call in a hot-manifest module must pass
+    ``dtype=`` (or the positional dtype argument).
+
+    ``np.arange`` is deliberately out of scope: position/index vectors
+    legitimately live in the default integer dtype.
+    """
+
+    rule = "PERF003"
+    alias = "dtype"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.hot and not ctx.relaxed
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func) or ""
+            prefix, _, leaf = dotted.rpartition(".")
+            if prefix not in ("np", "numpy") or leaf not in _NP_CONSTRUCTORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) > _NP_CONSTRUCTORS[leaf]:
+                continue  # positional dtype present
+            yield ctx.finding(
+                node, self.rule,
+                f"dtype-less `{dotted}(...)` widens to the platform default "
+                "(int64/float64); pass an explicit dtype to match the "
+                "declared SoA state",
+            )

@@ -1,0 +1,239 @@
+"""Numeric and robustness contracts: FLT001, FRZ001, EXC001.
+
+**FLT001** closes the gap DET003 deliberately leaves open: accumulation
+loops over unordered iterables are order-*insensitive* for ints, but
+float addition is non-associative, so ``sum`` over a set of floats is a
+seed-stable-looking nondeterminism bomb — the result changes with hash
+order.  The rule reuses the dataflow taint engine to find unordered
+iterables and simple syntactic evidence to decide "this accumulates
+floats".
+
+**FRZ001** protects the frozen-config contract: experiment configs are
+frozen dataclasses precisely so a run's parameters cannot drift
+mid-run; ``object.__setattr__`` punches through that freeze and is only
+legitimate inside construction (``__init__``/``__post_init__``/
+``__setstate__``).
+
+**EXC001** bans broad exception swallowing in protocol/simulation
+code: an ``except Exception: pass`` around a routing step converts a
+logic bug into silent wrong results, which in a reproducibility study
+is the worst failure mode available.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.dataflow.cfg import ForBind
+from repro.lint.dataflow.taint import SET_ORDER, VIEW_ORDER
+from repro.lint.engine import Checker, Finding, LintContext, dotted_name
+
+__all__ = ["FloatAccumulationChecker", "FrozenMutationChecker", "BroadExceptChecker"]
+
+
+def _has_float_evidence(expr: ast.AST) -> bool:
+    """Whether ``expr`` plausibly produces a float (literal, division,
+    ``float()``/``math.*`` call, or a ``*_ms``-style name)."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func) or ""
+            if dotted == "float" or dotted.startswith("math."):
+                return True
+    return False
+
+
+class FloatAccumulationChecker(Checker):
+    """FLT001: float accumulation over unordered iterables is
+    order-sensitive.
+
+    Two shapes, both requiring the iterable to carry ``set-order`` or
+    ``view-order`` taint (dataflow engine) *and* the accumulated term
+    to show float evidence (a float literal, a division, ``float()``,
+    or a ``math.*`` call):
+
+    1. ``sum(<comp> for x in <unordered>)`` — the one-liner;
+    2. ``acc += <float term>`` inside ``for x in <unordered>`` where
+       ``acc`` was initialised from a float expression.
+
+    Fix by sorting the iterable or switching to ``math.fsum`` (exact
+    and order-independent), either of which silences the rule.
+    """
+
+    rule = "FLT001"
+    alias = "float-order"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package(
+            "repro.sim", "repro.core", "repro.dht", "repro.faults",
+            "repro.topology", "repro.metrics", "repro.util", "repro.cache",
+            "repro.engine", "repro.replication", "repro.serve",
+            "repro.loadgen",
+        )
+
+    @staticmethod
+    def _unordered(taints) -> bool:
+        return any(t.label in (SET_ORDER, VIEW_ORDER) for t in taints)
+
+    def _float_locals(self, scope: ast.AST) -> set[str]:
+        out: set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _has_float_evidence(node.value):
+                    out.add(target.id)
+        return out
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for scope in ctx.scopes():
+            flow = ctx.flow(scope)
+            float_locals = self._float_locals(scope)
+            for element in flow.cfg.elements():
+                # Shape 2: ``acc += term`` under a for-over-unordered.
+                if isinstance(element, ast.AugAssign) and isinstance(
+                    element.op, ast.Add
+                ):
+                    target = element.target
+                    accumulates_float = _has_float_evidence(element.value) or (
+                        isinstance(target, ast.Name) and target.id in float_locals
+                    )
+                    if accumulates_float and self._in_unordered_loop(
+                        ctx, flow, element
+                    ):
+                        yield ctx.finding(
+                            element, self.rule,
+                            "float `+=` over an unordered iterable is "
+                            "order-sensitive; sort the iterable or use "
+                            "math.fsum",
+                        )
+                # Shape 1: ``sum(... for x in <unordered>)``.
+                for root in _element_exprs(element):
+                    for node in ast.walk(root):
+                        if not (
+                            isinstance(node, ast.Call)
+                            and dotted_name(node.func) == "sum"
+                            and node.args
+                        ):
+                            continue
+                        arg = node.args[0]
+                        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                            over_unordered = any(
+                                self._unordered(flow.taint_of(g.iter, element))
+                                for g in arg.generators
+                            )
+                            if over_unordered and _has_float_evidence(arg.elt):
+                                yield ctx.finding(
+                                    node, self.rule,
+                                    "`sum(...)` of floats over an unordered "
+                                    "iterable is order-sensitive; sort the "
+                                    "iterable or use math.fsum",
+                                )
+
+    def _in_unordered_loop(self, ctx: LintContext, flow, element) -> bool:
+        """Whether ``element`` sits in a for-loop over a tainted iterable."""
+        for ancestor in ctx.ancestors(element):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            if isinstance(ancestor, (ast.For, ast.AsyncFor)):
+                for el in flow.cfg.elements():
+                    if isinstance(el, ForBind) and el.node is ancestor:
+                        return self._unordered(flow.taint_of(ancestor.iter, el))
+        return False
+
+
+def _element_exprs(element) -> list[ast.AST]:
+    if isinstance(element, ast.stmt) and not isinstance(
+        element, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return [c for c in ast.iter_child_nodes(element) if isinstance(c, ast.expr)]
+    return []
+
+
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__", "__setstate__"})
+
+
+class FrozenMutationChecker(Checker):
+    """FRZ001: no ``object.__setattr__`` on frozen configs after
+    construction.
+
+    Frozen dataclasses freeze the run's parameters; the only sanctioned
+    bypass is the construction window (``__init__``/``__post_init__``/
+    ``__setstate__``) where derived fields are materialised.  Anywhere
+    else, ``object.__setattr__`` silently mutates what every consumer
+    assumes is immutable — replace it with ``dataclasses.replace``.
+    """
+
+    rule = "FRZ001"
+    alias = "frozen"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro") and not ctx.relaxed
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) == "object.__setattr__"
+            ):
+                continue
+            enclosing = next(
+                (
+                    a.name for a in ctx.ancestors(node)
+                    if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ),
+                None,
+            )
+            if enclosing in _CONSTRUCTION_METHODS:
+                continue
+            yield ctx.finding(
+                node, self.rule,
+                "`object.__setattr__` mutates a frozen instance outside "
+                "construction; use dataclasses.replace to derive a new config",
+            )
+
+
+class BroadExceptChecker(Checker):
+    """EXC001: no broad exception swallowing in protocol/sim code.
+
+    Flags ``except:``/``except Exception:``/``except BaseException:``
+    (bare names or inside tuples) whose handler body does not re-raise.
+    A handler that logs-and-raises is fine; a handler that swallows
+    turns routing bugs into silently wrong results.  Catch the specific
+    exceptions the protocol step can produce instead.
+    """
+
+    rule = "EXC001"
+    alias = "broad-except"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package(
+            "repro.sim", "repro.core", "repro.dht", "repro.faults",
+            "repro.engine", "repro.replication", "repro.serve",
+        )
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST | None) -> bool:
+        if type_node is None:
+            return True  # bare except
+        if isinstance(type_node, ast.Tuple):
+            return any(BroadExceptChecker._is_broad(e) for e in type_node.elts)
+        name = dotted_name(type_node) or ""
+        return name.rsplit(".", 1)[-1] in ("Exception", "BaseException")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+                continue
+            yield ctx.finding(
+                node, self.rule,
+                "broad exception handler swallows protocol errors; catch the "
+                "specific exceptions this step can raise, or re-raise",
+            )

@@ -1,0 +1,136 @@
+"""SARIF 2.1.0 output for ``reprolint`` (``--sarif PATH``).
+
+Emits one run with the full rule catalog in ``tool.driver.rules`` (so
+code-scanning UIs can show rule help without a round trip) and one
+``result`` per finding, carrying the engine's stable fingerprint under
+``partialFingerprints`` — the key GitHub code scanning uses to track a
+finding across commits even as line numbers shift.
+
+The document targets the OASIS 2.1.0 schema
+(``sarif-schema-2.1.0.json``); ``tests/test_lint_toolchain.py``
+validates the emitted shape against the subset of the schema the
+toolchain relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.lint.engine import Checker, Finding
+from repro.lint.explain import ENGINE_RULES, first_line
+
+__all__ = ["to_sarif", "write_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _relative_uri(path: str, root: Path | None) -> str:
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _rule_entries(checkers: Sequence[Checker]) -> list[dict]:
+    entries = []
+    for checker in checkers:
+        doc = (checker.__doc__ or checker.rule).strip()
+        entries.append(
+            {
+                "id": checker.rule,
+                "name": type(checker).__name__,
+                "shortDescription": {"text": first_line(doc)},
+                "fullDescription": {"text": doc},
+                "defaultConfiguration": {"level": "error"},
+                "properties": {"pragmaAlias": checker.alias},
+            }
+        )
+    for rule_id, doc in sorted(ENGINE_RULES.items()):
+        entries.append(
+            {
+                "id": rule_id,
+                "name": rule_id,
+                "shortDescription": {"text": first_line(doc)},
+                "fullDescription": {"text": doc.strip()},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return entries
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    checkers: Sequence[Checker],
+    root: Path | None = None,
+) -> dict:
+    """Build the SARIF 2.1.0 document for one lint run."""
+    rules = _rule_entries(checkers)
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(f.path, root),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                            "endLine": max(f.end_line, f.line),
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        if f.fingerprint:
+            result["partialFingerprints"] = {
+                "reprolintFingerprint/v1": f.fingerprint
+            }
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "DESIGN.md",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": (root or Path.cwd()).resolve().as_uri() + "/"}
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Path | str,
+    findings: Sequence[Finding],
+    checkers: Sequence[Checker],
+    root: Path | None = None,
+) -> None:
+    doc = to_sarif(findings, checkers, root)
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

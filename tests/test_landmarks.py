@@ -75,3 +75,9 @@ class TestLogicalLandmarks:
     def test_group_validation(self):
         with pytest.raises(ValueError):
             LandmarkSet.logical([np.asarray([], dtype=np.int64)])
+
+    def test_member_arrays_have_explicit_dtype(self):
+        # PERF003 regression: members built from plain python lists must
+        # not widen to the platform default; the SoA contract is int64.
+        lms = LandmarkSet.logical([[1, 2, 3], [4, 5]])
+        assert all(m.dtype == np.int64 for m in lms.members)

@@ -439,5 +439,10 @@ class TestCli:
 class TestSelfHosting:
     def test_repo_tree_is_clean(self):
         root = Path(__file__).resolve().parent.parent
-        findings = lint_paths([root / "src", root / "tests"], ALL_CHECKERS)
+        trees = [
+            root / name
+            for name in ("src", "tests", "benchmarks", "examples")
+            if (root / name).exists()
+        ]
+        findings = lint_paths(trees, ALL_CHECKERS)
         assert findings == [], "\n".join(f.render() for f in findings)

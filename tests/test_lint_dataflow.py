@@ -1,0 +1,487 @@
+"""Tests for ``repro.lint.dataflow`` — CFGs, reaching defs, taint.
+
+The dataflow engine underpins the flow-sensitive rules (DET003,
+FLT001), so its semantics get direct coverage: CFG shapes for every
+compound statement, reaching-definitions soundness on joins and loops,
+and truth tables for the taint lattice's sources, sanitizers, and
+propagation paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.dataflow import (
+    CAPTURED,
+    SET_ORDER,
+    UNSEEDED_RNG,
+    VIEW_ORDER,
+    FunctionFlow,
+    ReachingDefinitions,
+    analyze_function,
+    build_cfg,
+    module_summaries,
+)
+from repro.lint.dataflow.cfg import TestExpr as BranchTest
+
+
+def func(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    raise AssertionError("fixture has no function")
+
+
+def labels(taints) -> set[str]:
+    return {t.label for t in taints}
+
+
+def flow_of(source: str, self_class: str | None = None) -> FunctionFlow:
+    tree = ast.parse(textwrap.dedent(source))
+    return analyze_function(func(source), module_summaries(tree), self_class)
+
+
+def return_element(flow: FunctionFlow, nth: int = 0) -> ast.Return:
+    returns = [e for e in flow.cfg.elements() if isinstance(e, ast.Return)]
+    return returns[nth]
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+class TestCfgShapes:
+    def test_straight_line_single_path(self):
+        cfg = build_cfg(func("def f():\n    a = 1\n    b = 2\n    return b\n"))
+        # entry -> body -> exit, no other edges
+        assert cfg.blocks[cfg.entry].succs != []
+        rendered = cfg.render()
+        assert "loop" not in rendered and "except" not in rendered
+
+    def test_if_else_joins(self):
+        cfg = build_cfg(
+            func(
+                """
+                def f(x):
+                    if x:
+                        a = 1
+                    else:
+                        a = 2
+                    return a
+                """
+            )
+        )
+        joins = [b for b in cfg.blocks if b.label == "join"]
+        assert len(joins) == 1
+        assert len(joins[0].preds) == 2
+
+    def test_if_without_else_has_fallthrough_edge(self):
+        cfg = build_cfg(func("def f(x):\n    if x:\n        a = 1\n    return x\n"))
+        joins = [b for b in cfg.blocks if b.label == "join"]
+        assert len(joins[0].preds) == 2  # then-end + the test block itself
+
+    def test_loop_has_back_edge_and_zero_iteration_edge(self):
+        cfg = build_cfg(
+            func("def f(xs):\n    for x in xs:\n        y = x\n    return 1\n")
+        )
+        head = next(b for b in cfg.blocks if b.label == "loop-head")
+        after = next(b for b in cfg.blocks if b.label == "loop-after")
+        body = next(b for b in cfg.blocks if b.label == "loop-body")
+        assert after.idx in head.succs  # zero-iteration edge
+        assert body.idx in head.succs
+        assert head.idx in cfg.blocks[body.idx].succs  # back edge
+
+    def test_break_edges_to_loop_after(self):
+        cfg = build_cfg(
+            func(
+                """
+                def f(xs):
+                    while True:
+                        if xs:
+                            break
+                        xs = g(xs)
+                    return xs
+                """
+            )
+        )
+        after = next(b for b in cfg.blocks if b.label == "loop-after")
+        assert len(after.preds) >= 2  # zero-iter/test-false edge + break edge
+
+    def test_continue_edges_to_loop_head(self):
+        cfg = build_cfg(
+            func(
+                """
+                def f(xs):
+                    for x in xs:
+                        if x:
+                            continue
+                        y = x
+                    return 1
+                """
+            )
+        )
+        head = next(b for b in cfg.blocks if b.label == "loop-head")
+        # back edge from body end AND the continue edge
+        assert len([p for p in head.preds if p != cfg.entry]) >= 2
+
+    def test_try_except_edges_from_body_to_handler(self):
+        cfg = build_cfg(
+            func(
+                """
+                def f():
+                    try:
+                        a = risky()
+                    except ValueError as exc:
+                        a = 0
+                    return a
+                """
+            )
+        )
+        handler = next(b for b in cfg.blocks if b.label == "except")
+        body = next(b for b in cfg.blocks if b.label == "try-body")
+        assert handler.idx in body.succs
+
+    def test_try_finally_joins_all_exits(self):
+        cfg = build_cfg(
+            func(
+                """
+                def f():
+                    try:
+                        a = risky()
+                    except ValueError:
+                        a = 0
+                    finally:
+                        cleanup()
+                    return a
+                """
+            )
+        )
+        fin = next(b for b in cfg.blocks if b.label == "finally")
+        assert len(fin.preds) >= 2  # body fall-through + handler end
+
+    def test_return_in_both_branches_kills_fallthrough(self):
+        cfg = build_cfg(
+            func(
+                """
+                def f(x):
+                    if x:
+                        return 1
+                    else:
+                        return 2
+                """
+            )
+        )
+        # Both paths edge to exit; no join block is reachable from them.
+        exit_preds = cfg.blocks[cfg.exit].preds
+        assert len(exit_preds) == 2
+
+    def test_match_exhaustive_wildcard(self):
+        cfg = build_cfg(
+            func(
+                """
+                def f(x):
+                    match x:
+                        case 1:
+                            return "one"
+                        case _:
+                            return "other"
+                """
+            )
+        )
+        # Exhaustive match with all-returning arms: exit has 2 preds,
+        # and no no-arm-matched edge leaks to the join.
+        assert len(cfg.blocks[cfg.exit].preds) == 2
+
+    def test_nested_comprehension_and_walrus_are_elements(self):
+        f = func(
+            """
+            def f(rows):
+                flat = [y for xs in rows for y in xs]
+                if (n := len(flat)) > 3:
+                    return n
+                return 0
+            """
+        )
+        cfg = build_cfg(f)
+        tests = [e for e in cfg.elements() if isinstance(e, BranchTest)]
+        assert len(tests) == 1  # the if-condition (with the walrus inside)
+
+    def test_with_binds_as_name(self):
+        cfg = build_cfg(
+            func(
+                """
+                def f(p):
+                    with open(p) as fh:
+                        data = fh.read()
+                    return data
+                """
+            )
+        )
+        kinds = [type(e).__name__ for e in cfg.elements()]
+        assert "WithBind" in kinds
+
+    def test_module_level_cfg(self):
+        tree = ast.parse("a = 1\nif a:\n    b = 2\n")
+        cfg = build_cfg(tree)
+        assert any(isinstance(e, BranchTest) for e in cfg.elements())
+
+
+# ----------------------------------------------------------------------
+# reaching definitions
+# ----------------------------------------------------------------------
+class TestReachingDefinitions:
+    def _rd(self, source: str) -> tuple[FunctionFlow, ReachingDefinitions]:
+        f = func(source)
+        cfg = build_cfg(f)
+        params = tuple(a.arg for a in f.args.args)
+        return cfg, ReachingDefinitions(cfg, params)
+
+    def test_params_reach_entry(self):
+        cfg, rd = self._rd("def f(a, b):\n    return a\n")
+        ret = next(e for e in cfg.elements() if isinstance(e, ast.Return))
+        assert {"a", "b"} <= rd.names_before(ret)
+
+    def test_reassignment_kills_within_block(self):
+        cfg, rd = self._rd("def f():\n    x = 1\n    x = 2\n    return x\n")
+        ret = next(e for e in cfg.elements() if isinstance(e, ast.Return))
+        defs = [d for d in rd.before_element(ret) if d.name == "x"]
+        assert len(defs) == 1
+        assert defs[0].line == 3  # the second assignment
+
+    def test_branches_merge_both_definitions(self):
+        cfg, rd = self._rd(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        ret = next(e for e in cfg.elements() if isinstance(e, ast.Return))
+        defs = [d for d in rd.before_element(ret) if d.name == "x"]
+        assert len(defs) == 2  # both arms may reach (may-analysis)
+
+    def test_loop_definition_reaches_own_head(self):
+        cfg, rd = self._rd(
+            """
+            def f(xs):
+                acc = 0
+                for x in xs:
+                    acc = acc + x
+                return acc
+            """
+        )
+        ret = next(e for e in cfg.elements() if isinstance(e, ast.Return))
+        lines = {d.line for d in rd.before_element(ret) if d.name == "acc"}
+        assert lines == {3, 5}  # initial def and the loop-body def
+
+    def test_for_target_and_walrus_and_with_bind(self):
+        cfg, rd = self._rd(
+            """
+            def f(xs, p):
+                with open(p) as fh:
+                    data = fh.read()
+                for i, x in enumerate(xs):
+                    pass
+                if (m := len(xs)) > 0:
+                    return m
+                return data
+            """
+        )
+        ret = [e for e in cfg.elements() if isinstance(e, ast.Return)][0]
+        names = rd.names_before(ret)
+        assert {"fh", "data", "i", "x", "m"} <= names
+
+    def test_except_bind_and_match_capture(self):
+        cfg, rd = self._rd(
+            """
+            def f(x):
+                try:
+                    y = risky()
+                except ValueError as exc:
+                    y = 0
+                match x:
+                    case [head, *tail]:
+                        return head
+                    case {**rest}:
+                        return rest
+                return y
+            """
+        )
+        all_names = set()
+        for e in cfg.elements():
+            if isinstance(e, ast.Return):
+                all_names |= rd.names_before(e)
+        assert {"exc", "head", "tail", "rest"} <= all_names
+
+
+# ----------------------------------------------------------------------
+# taint lattice
+# ----------------------------------------------------------------------
+class TestTaintSources:
+    def test_set_literal_and_constructor_and_comprehension(self):
+        for expr in ("{1, 2}", "set(xs)", "frozenset(xs)", "{x for x in xs}"):
+            flow = flow_of(f"def f(xs):\n    s = {expr}\n    return s\n")
+            ret = return_element(flow)
+            assert labels(flow.taint_of(ret.value, ret)) == {SET_ORDER}, expr
+
+    def test_dict_views(self):
+        for view in ("items", "keys", "values"):
+            flow = flow_of(f"def f(d):\n    v = d.{view}()\n    return v\n")
+            ret = return_element(flow)
+            assert labels(flow.taint_of(ret.value, ret)) == {VIEW_ORDER}, view
+
+    def test_unseeded_rng(self):
+        flow = flow_of(
+            "import numpy as np\ndef f():\n    r = np.random.default_rng()\n    return r\n"
+        )
+        ret = return_element(flow)
+        assert labels(flow.taint_of(ret.value, ret)) == {UNSEEDED_RNG}
+
+    def test_seeded_rng_is_clean(self):
+        flow = flow_of(
+            "import numpy as np\ndef f():\n    r = np.random.default_rng(7)\n    return r\n"
+        )
+        ret = return_element(flow)
+        assert labels(flow.taint_of(ret.value, ret)) == set()
+
+    def test_annotated_set_without_value(self):
+        flow = flow_of("def f():\n    s: set[int]\n    return s\n")
+        ret = return_element(flow)
+        assert SET_ORDER in labels(flow.taint_of(ret.value, ret))
+
+
+class TestTaintPropagation:
+    def test_assignment_chain(self):
+        flow = flow_of("def f():\n    s = {1}\n    t = s\n    u = t\n    return u\n")
+        ret = return_element(flow)
+        assert labels(flow.taint_of(ret.value, ret)) == {SET_ORDER}
+
+    def test_materializer_captures(self):
+        flow = flow_of("def f():\n    s = {1}\n    t = list(s)\n    return t\n")
+        ret = return_element(flow)
+        assert labels(flow.taint_of(ret.value, ret)) == {CAPTURED}
+
+    def test_set_algebra_stays_set(self):
+        flow = flow_of(
+            "def f(a):\n    s = {1} | {2}\n    t = s.union({3})\n    u = s & a\n    return (s, t, u)\n"
+        )
+        ret = return_element(flow)
+        env = flow.env_before(ret)
+        assert labels(env["s"]) == {SET_ORDER}
+        assert labels(env["t"]) == {SET_ORDER}
+        assert labels(env["u"]) == {SET_ORDER}
+
+    def test_augmented_set_union(self):
+        flow = flow_of("def f(a):\n    s = {1}\n    s |= a\n    return s\n")
+        ret = return_element(flow)
+        assert labels(flow.taint_of(ret.value, ret)) == {SET_ORDER}
+
+    def test_transparent_wrappers_propagate(self):
+        flow = flow_of(
+            "def f():\n    s = {1}\n    t = reversed(sorted(s))\n    u = enumerate(s)\n    return (t, u)\n"
+        )
+        ret = return_element(flow)
+        env = flow.env_before(ret)
+        assert labels(env["t"]) == set()  # sorted sanitized inside
+        assert labels(env["u"]) == {SET_ORDER}  # enumerate is transparent
+
+    def test_walrus_binds_taint(self):
+        flow = flow_of("def f():\n    t = list(s := {1, 2})\n    return s\n")
+        ret = return_element(flow)
+        assert labels(flow.taint_of(ret.value, ret)) == {SET_ORDER}
+
+    def test_branch_join_unions(self):
+        flow = flow_of(
+            """
+            def f(c):
+                if c:
+                    s = {1}
+                else:
+                    s = [1]
+                return s
+            """
+        )
+        ret = return_element(flow)
+        assert SET_ORDER in labels(flow.taint_of(ret.value, ret))
+
+    def test_loop_fixpoint_converges(self):
+        flow = flow_of(
+            """
+            def f(n):
+                s = [0]
+                for _ in range(n):
+                    s = set(s)
+                return s
+            """
+        )
+        ret = return_element(flow)
+        assert SET_ORDER in labels(flow.taint_of(ret.value, ret))
+
+
+class TestTaintSanitizers:
+    def test_sorted_and_reducers_clean(self):
+        for call in ("sorted(s)", "sum(s)", "len(s)", "min(s)", "max(s)"):
+            flow = flow_of(f"def f():\n    s = {{1}}\n    t = {call}\n    return t\n")
+            ret = return_element(flow)
+            assert labels(flow.taint_of(ret.value, ret)) == set(), call
+
+    def test_reassignment_kills(self):
+        flow = flow_of("def f():\n    s = {1}\n    s = sorted(s)\n    return s\n")
+        ret = return_element(flow)
+        assert labels(flow.taint_of(ret.value, ret)) == set()
+
+    def test_for_target_binds_clean(self):
+        flow = flow_of(
+            "def f():\n    s = {1}\n    for x in s:\n        pass\n    return x\n"
+        )
+        ret = return_element(flow)
+        assert labels(flow.taint_of(ret.value, ret)) == set()
+
+
+class TestModuleSummaries:
+    def test_direct_and_transitive_helpers(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def helper():
+                    return {1, 2}
+
+                def transitive():
+                    return helper()
+
+                def launder():
+                    s = transitive()
+                    return list(s)
+
+                def clean():
+                    return sorted(helper())
+                """
+            )
+        )
+        summaries = module_summaries(tree)
+        assert summaries["helper"] == frozenset({SET_ORDER})
+        assert summaries["transitive"] == frozenset({SET_ORDER})
+        assert summaries["launder"] == frozenset({CAPTURED})
+        assert summaries["clean"] == frozenset()
+
+    def test_method_summaries_resolve_via_self(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                class C:
+                    def peers(self):
+                        return set(self.known)
+
+                    def snapshot(self):
+                        p = self.peers()
+                        return p
+                """
+            )
+        )
+        summaries = module_summaries(tree)
+        assert summaries["C.peers"] == frozenset({SET_ORDER})
+        assert summaries["C.snapshot"] == frozenset({SET_ORDER})

@@ -1,0 +1,618 @@
+"""Fixture tests for the reprolint v2 rules.
+
+Positive and negative fixtures for the flow-sensitive DET003 laundering
+shapes and for every rule added with the dataflow engine: PERF001/002/
+003, FLT001, FRZ001, EXC001, and the engine-level LNT002 (unused
+suppression).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import ALL_CHECKERS, build_facts, lint_source
+from repro.lint.engine import lint_paths
+
+CORE = Path("src/repro/core/_fixture.py")
+DHT = Path("src/repro/dht/_fixture.py")
+SIM = Path("src/repro/sim/_fixture.py")
+FAULTS = Path("src/repro/faults/_fixture.py")
+ANALYSIS = Path("src/repro/analysis/_fixture.py")
+EXPERIMENTS = Path("src/repro/experiments/_fixture.py")
+TESTS = Path("tests/test_fixture.py")
+EXAMPLES = Path("examples/demo_fixture.py")
+
+
+def run(source: str, path: Path = CORE) -> list:
+    return lint_source(path, textwrap.dedent(source), ALL_CHECKERS)
+
+
+def rules(source: str, path: Path = CORE) -> list[str]:
+    return [f.rule for f in run(source, path)]
+
+
+# ----------------------------------------------------------------------
+# DET003 — flow-sensitive laundering (the v2 acceptance shapes)
+# ----------------------------------------------------------------------
+class TestDet003Laundering:
+    def test_set_laundered_through_intermediate_variable(self):
+        src = """
+        def f():
+            s = {1, 2, 3}
+            t = s
+            return list(t)
+        """
+        assert "DET003" in rules(src)
+
+    def test_set_laundered_through_helper_return(self):
+        src = """
+        def helper():
+            return {1, 2, 3}
+
+        def f():
+            s = helper()
+            return list(s)
+        """
+        assert "DET003" in rules(src)
+
+    def test_set_laundered_through_transitive_helper(self):
+        src = """
+        def inner():
+            return set(range(4))
+
+        def outer():
+            return inner()
+
+        def f():
+            return list(outer())
+        """
+        assert "DET003" in rules(src)
+
+    def test_set_laundered_through_self_method(self):
+        src = """
+        class C:
+            def _peers(self):
+                return {1, 2}
+
+            def snapshot(self):
+                p = self._peers()
+                return list(p)
+        """
+        assert "DET003" in rules(src)
+
+    def test_captured_list_escaping_later(self):
+        src = """
+        def f():
+            s = {1, 2, 3}
+            t = list(s)
+            return t
+        """
+        assert "DET003" in rules(src)
+
+    def test_reassignment_with_sorted_kills_taint(self):
+        src = """
+        def f():
+            s = {1, 2, 3}
+            s = sorted(s)
+            return list(s)
+        """
+        assert rules(src) == []
+
+    def test_branch_join_keeps_taint(self):
+        src = """
+        def f(flag):
+            if flag:
+                s = {1, 2}
+            else:
+                s = [1, 2]
+            return list(s)
+        """
+        assert "DET003" in rules(src)
+
+    def test_helper_returning_sorted_stays_clean(self):
+        src = """
+        def helper():
+            return sorted({1, 2, 3})
+
+        def f():
+            return list(helper())
+        """
+        assert rules(src) == []
+
+
+# ----------------------------------------------------------------------
+# PERF001 — no per-element record allocation on hot paths
+# ----------------------------------------------------------------------
+class TestLoopAllocation:
+    def test_flags_record_construction_in_for_loop(self):
+        src = """
+        def build(peers):
+            out = []
+            for p in peers:
+                out.append(FingerEntry(p))
+            return out
+        """
+        assert rules(src, DHT) == ["PERF001"]
+
+    def test_flags_record_construction_in_comprehension(self):
+        src = """
+        def build(peers):
+            return [PeerInfo(p) for p in peers]
+        """
+        assert rules(src, DHT) == ["PERF001"]
+
+    def test_raised_exceptions_are_exempt(self):
+        src = """
+        def build(peers):
+            for p in peers:
+                if p < 0:
+                    raise LookupFailure(p)
+        """
+        assert rules(src, DHT) == []
+
+    def test_error_suffixed_names_are_exempt(self):
+        src = """
+        def build(peers):
+            for p in peers:
+                e = RoutingError(p)
+                collect(e)
+        """
+        assert rules(src, DHT) == []
+
+    def test_lowercase_calls_stay_silent(self):
+        src = """
+        def build(peers):
+            return [make_entry(p) for p in peers]
+        """
+        assert rules(src, DHT) == []
+
+    def test_non_hot_module_stays_silent(self):
+        src = """
+        def build(peers):
+            return [PeerInfo(p) for p in peers]
+        """
+        assert rules(src, ANALYSIS) == []
+
+    def test_relaxed_scope_stays_silent(self):
+        src = """
+        def build(peers):
+            return [PeerInfo(p) for p in peers]
+        """
+        assert rules(src, TESTS) == []
+
+    def test_pragma_alias_suppresses(self):
+        src = (
+            "def build(peers):\n"
+            "    return [\n"
+            "        PeerInfo(p)  # lint: allow-loop-alloc -- inspection API, not routing\n"
+            "        for p in peers\n"
+            "    ]\n"
+        )
+        assert rules(src, DHT) == []
+
+    def test_project_facts_restrict_to_dataclasses(self, tmp_path):
+        # With a real project scan, only @dataclass types count as
+        # record types; plain classes (often flyweights/engines) don't.
+        defs = tmp_path / "src/repro/dht/records.py"
+        defs.parent.mkdir(parents=True)
+        defs.write_text(
+            textwrap.dedent(
+                """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Row:
+                    x: int
+
+                class Engine:
+                    pass
+                """
+            ),
+            encoding="utf-8",
+        )
+        use = tmp_path / "src/repro/dht/use.py"
+        use.write_text(
+            textwrap.dedent(
+                """
+                def f(xs):
+                    a = [Row(x) for x in xs]
+                    b = [Engine() for x in xs]
+                    return a, b
+                """
+            ),
+            encoding="utf-8",
+        )
+        findings = lint_paths([tmp_path / "src"], ALL_CHECKERS)
+        assert [(f.rule, f.line) for f in findings] == [("PERF001", 3)]
+
+
+# ----------------------------------------------------------------------
+# PERF002 — churn loops must amortise rebuilds
+# ----------------------------------------------------------------------
+class TestChurnRebuild:
+    def test_flags_per_peer_removal_in_loop(self):
+        src = """
+        def fail_wave(net, dead):
+            for p in dead:
+                net.remove_peer(p)
+        """
+        assert rules(src, CORE) == ["PERF002"]
+
+    def test_flags_direct_rebuild_in_loop(self):
+        src = """
+        def churn(net, waves):
+            for w in waves:
+                net._rebuild()
+        """
+        assert rules(src, FAULTS) == ["PERF002"]
+
+    def test_batch_variant_stays_silent(self):
+        src = """
+        def fail_wave(net, dead):
+            for wave in chunks(dead):
+                net.remove_peers(wave)
+        """
+        assert rules(src, CORE) == []
+
+    def test_rebuilders_own_loop_is_exempt(self):
+        src = """
+        def remove_peer(self, peer):
+            for ring in self.rings:
+                ring.remove_peer(peer)
+        """
+        assert rules(src, CORE) == []
+
+    def test_out_of_scope_module_stays_silent(self):
+        src = """
+        def fail_wave(net, dead):
+            for p in dead:
+                net.remove_peer(p)
+        """
+        assert rules(src, EXPERIMENTS) == []
+
+    def test_pragma_alias_suppresses(self):
+        src = (
+            "def fail_wave(net, dead):\n"
+            "    for p in dead:\n"
+            "        net.remove_peer(p)  # lint: allow-churn-rebuild -- n<=2 in this path\n"
+        )
+        assert rules(src, CORE) == []
+
+
+# ----------------------------------------------------------------------
+# PERF003 — explicit dtypes on hot-path numpy constructors
+# ----------------------------------------------------------------------
+class TestDtypeWidening:
+    def test_flags_dtypeless_asarray(self):
+        src = "import numpy as np\ndef f(xs):\n    return np.asarray(xs)\n"
+        assert rules(src, DHT) == ["PERF003"]
+
+    def test_flags_dtypeless_zeros_and_full(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    a = np.zeros(n)\n"
+            "    b = np.full((n,), 0)\n"
+            "    return a, b\n"
+        )
+        assert rules(src, DHT) == ["PERF003", "PERF003"]
+
+    def test_keyword_dtype_silences(self):
+        src = "import numpy as np\ndef f(xs):\n    return np.asarray(xs, dtype=np.int64)\n"
+        assert rules(src, DHT) == []
+
+    def test_positional_dtype_silences(self):
+        src = "import numpy as np\ndef f(xs):\n    return np.asarray(xs, np.int64)\n"
+        assert rules(src, DHT) == []
+
+    def test_arange_is_out_of_scope(self):
+        src = "import numpy as np\ndef f(n):\n    return np.arange(n)\n"
+        assert rules(src, DHT) == []
+
+    def test_non_numpy_asarray_stays_silent(self):
+        src = "def f(xs, backend):\n    return backend.asarray(xs)\n"
+        assert rules(src, DHT) == []
+
+    def test_non_hot_module_stays_silent(self):
+        src = "import numpy as np\ndef f(xs):\n    return np.asarray(xs)\n"
+        assert rules(src, ANALYSIS) == []
+
+    def test_pragma_alias_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    return np.asarray(xs)  # lint: allow-dtype -- caller guarantees int64 input\n"
+        )
+        assert rules(src, DHT) == []
+
+
+# ----------------------------------------------------------------------
+# FLT001 — order-sensitive float accumulation
+# ----------------------------------------------------------------------
+class TestFloatAccumulation:
+    def test_flags_float_sum_over_set(self):
+        src = """
+        def f(vals):
+            s = set(vals)
+            return sum(x / 2 for x in s)
+        """
+        assert rules(src, CORE) == ["FLT001"]
+
+    def test_flags_float_augassign_over_dict_view(self):
+        src = """
+        def f(d):
+            total = 0.0
+            for v in d.values():
+                total += v
+            return total
+        """
+        assert rules(src, SIM) == ["FLT001"]
+
+    def test_integer_accumulation_stays_silent(self):
+        src = """
+        def f(vals):
+            s = set(vals)
+            total = 0
+            for x in s:
+                total += x
+            return total
+        """
+        assert rules(src, CORE) == []
+
+    def test_sorted_iterable_silences(self):
+        src = """
+        def f(vals):
+            s = set(vals)
+            return sum(x / 2 for x in sorted(s))
+        """
+        assert rules(src, CORE) == []
+
+    def test_sum_over_ordered_list_stays_silent(self):
+        src = """
+        def f(vals):
+            return sum(x / 2 for x in vals)
+        """
+        assert rules(src, CORE) == []
+
+    def test_pragma_alias_suppresses(self):
+        src = (
+            "def f(vals):\n"
+            "    s = set(vals)\n"
+            "    return sum(x / 2 for x in s)  # lint: allow-float-order -- tolerance-checked\n"
+        )
+        assert rules(src, CORE) == []
+
+
+# ----------------------------------------------------------------------
+# FRZ001 — frozen-config mutation
+# ----------------------------------------------------------------------
+class TestFrozenMutation:
+    def test_flags_setattr_outside_construction(self):
+        src = """
+        class Config:
+            def tweak(self):
+                object.__setattr__(self, "seed", 1)
+        """
+        assert rules(src, CORE) == ["FRZ001"]
+
+    def test_construction_methods_are_exempt(self):
+        src = """
+        class Config:
+            def __init__(self):
+                object.__setattr__(self, "seed", 1)
+
+            def __post_init__(self):
+                object.__setattr__(self, "derived", 2)
+
+            def __setstate__(self, state):
+                object.__setattr__(self, "seed", state["seed"])
+        """
+        assert rules(src, CORE) == []
+
+    def test_relaxed_scope_stays_silent(self):
+        src = """
+        def force(cfg):
+            object.__setattr__(cfg, "seed", 1)
+        """
+        assert rules(src, TESTS) == []
+
+    def test_pragma_alias_suppresses(self):
+        src = (
+            "class Config:\n"
+            "    def thaw(self):\n"
+            '        object.__setattr__(self, "x", 1)  # lint: allow-frozen -- migration shim\n'
+        )
+        assert rules(src, CORE) == []
+
+
+# ----------------------------------------------------------------------
+# EXC001 — broad exception swallowing
+# ----------------------------------------------------------------------
+class TestBroadExcept:
+    def test_flags_bare_except(self):
+        src = """
+        def step(net, msg):
+            try:
+                net.deliver(msg)
+            except:
+                pass
+        """
+        assert rules(src, SIM) == ["EXC001"]
+
+    def test_flags_except_exception(self):
+        src = """
+        def route(net, key):
+            try:
+                return net.route(key)
+            except Exception:
+                return None
+        """
+        assert rules(src, DHT) == ["EXC001"]
+
+    def test_flags_exception_inside_tuple(self):
+        src = """
+        def step(net, msg):
+            try:
+                net.deliver(msg)
+            except (ValueError, Exception):
+                pass
+        """
+        assert rules(src, SIM) == ["EXC001"]
+
+    def test_specific_exception_stays_silent(self):
+        src = """
+        def step(net, msg):
+            try:
+                net.deliver(msg)
+            except KeyError:
+                pass
+        """
+        assert rules(src, SIM) == []
+
+    def test_reraising_handler_stays_silent(self):
+        src = """
+        def step(net, msg):
+            try:
+                net.deliver(msg)
+            except Exception as exc:
+                log(exc)
+                raise
+        """
+        assert rules(src, SIM) == []
+
+    def test_out_of_scope_module_stays_silent(self):
+        src = """
+        def load(path):
+            try:
+                return parse(path)
+            except Exception:
+                return None
+        """
+        assert rules(src, ANALYSIS) == []
+
+    def test_pragma_alias_suppresses(self):
+        src = (
+            "def step(net, msg):\n"
+            "    try:\n"
+            "        net.deliver(msg)\n"
+            "    except Exception:  # lint: allow-broad-except -- chaos harness records all faults\n"
+            "        pass\n"
+        )
+        assert rules(src, SIM) == []
+
+
+# ----------------------------------------------------------------------
+# LNT002 — unused suppressions
+# ----------------------------------------------------------------------
+class TestUnusedSuppression:
+    def test_stale_reasoned_pragma_is_flagged(self):
+        src = "x = 1  # lint: allow-wallclock -- stale, the call was removed\n"
+        assert rules(src, SIM) == ["LNT002"]
+
+    def test_used_pragma_is_not_flagged(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # lint: allow-wallclock -- phase timing only\n"
+        )
+        assert rules(src, SIM) == []
+
+    def test_reasonless_pragma_reports_lnt100_not_lnt002(self):
+        src = "x = 1  # lint: allow-wallclock\n"
+        assert rules(src, SIM) == ["LNT100"]
+
+    def test_select_subset_does_not_misreport(self):
+        # When the pragma names a rule that is not active in this run,
+        # "unused" cannot be decided, so LNT002 must stay silent.
+        from repro.lint.determinism import RngChecker
+
+        src = "x = 1  # lint: allow-wallclock -- covered by the full run\n"
+        findings = lint_source(SIM, src, [RngChecker()])
+        assert [f.rule for f in findings] == []
+
+    def test_lnt002_is_itself_suppressible(self):
+        # Naming lnt002 alongside the kept rule keeps a deliberately
+        # dormant pragma (e.g. platform-specific) out of the report.
+        src = "x = 1  # lint: allow-wallclock,lnt002 -- fires only on win32 builds\n"
+        assert rules(src, SIM) == []
+
+
+# ----------------------------------------------------------------------
+# test-grade relaxations for benchmarks/ and examples/
+# ----------------------------------------------------------------------
+class TestRelaxedScopes:
+    def test_examples_may_seed_rng_explicitly(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert rules(src, EXAMPLES) == []
+
+    def test_examples_may_not_draw_os_entropy(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules(src, EXAMPLES) == ["DET001"]
+
+    def test_benchmarks_skip_hot_path_rules(self):
+        src = """
+        def build(peers):
+            return [PeerInfo(p) for p in peers]
+        """
+        assert rules(src, Path("benchmarks/bench_fixture.py")) == []
+
+
+# ----------------------------------------------------------------------
+# project facts
+# ----------------------------------------------------------------------
+class TestProjectFacts:
+    def _facts(self, pairs):
+        return build_facts(pairs)
+
+    def test_import_graph_and_hot_closure(self):
+        facts = self._facts(
+            [
+                (Path("src/repro/dht/chord.py"), "from repro.util.ids import IdSpace\n"),
+                (Path("src/repro/util/ids.py"), "import math\n"),
+                (Path("src/repro/analysis/plots.py"), "from repro.util.ids import IdSpace\n"),
+            ]
+        )
+        assert facts.is_hot("repro.dht.chord")
+        assert not facts.is_hot("repro.analysis.plots")
+        assert "repro.util.ids" in facts.hot_closure()
+        assert facts.importers_of("repro.util.ids") == {
+            "repro.dht.chord", "repro.analysis.plots",
+        }
+
+    def test_rebuild_caller_closure_is_transitive(self):
+        facts = self._facts(
+            [
+                (
+                    Path("src/repro/core/net.py"),
+                    textwrap.dedent(
+                        """
+                        class Net:
+                            def _rebuild(self):
+                                pass
+
+                            def remove_peer(self, p):
+                                self._rebuild()
+
+                            def evict(self, p):
+                                self.remove_peer(p)
+                        """
+                    ),
+                )
+            ]
+        )
+        assert {"_rebuild", "remove_peer", "evict"} <= facts.rebuild_callers
+
+    def test_dataclass_registry(self):
+        facts = self._facts(
+            [
+                (
+                    Path("src/repro/core/types.py"),
+                    "from dataclasses import dataclass\n"
+                    "@dataclass\nclass Row:\n    x: int\n"
+                    "class Plain:\n    pass\n",
+                )
+            ]
+        )
+        assert "Row" in facts.dataclass_names
+        assert "Plain" in facts.project_classes
+        assert "Plain" not in facts.dataclass_names

@@ -1,0 +1,260 @@
+"""Tests for the reprolint toolchain: SARIF, baselines, jobs, explain.
+
+Covers the SARIF 2.1.0 document shape (the subset code scanning relies
+on), baseline round-trips with fingerprint stability under line shifts,
+``--jobs`` parity with the serial path, ``--explain``, and the
+``--max-seconds`` runtime budget.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_CHECKERS, lint_source
+from repro.lint.baseline import load_baseline, partition, write_baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import lint_paths
+from repro.lint.explain import ENGINE_RULES, explain, rule_catalog
+from repro.lint.sarif import SARIF_VERSION, to_sarif
+
+CORE = Path("src/repro/core/_fixture.py")
+SIM = Path("src/repro/sim/_fixture.py")
+
+BAD_RNG = "import numpy as np\nrng = np.random.default_rng(1)\n"
+BAD_CLOCK = "import time\nt = time.time()\n"
+
+
+def _write(root: Path, relpath: str, source: str) -> Path:
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_every_finding_is_stamped(self):
+        findings = lint_source(SIM, BAD_CLOCK, ALL_CHECKERS)
+        assert findings and all(len(f.fingerprint) == 20 for f in findings)
+
+    def test_stable_under_line_shifts(self):
+        before = lint_source(SIM, BAD_CLOCK, ALL_CHECKERS)
+        shifted = "X = 0\nY = 1\n" + BAD_CLOCK
+        after = lint_source(SIM, shifted, ALL_CHECKERS)
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint == after[0].fingerprint
+
+    def test_changes_when_flagged_line_changes(self):
+        a = lint_source(SIM, "import time\nt = time.time()\n", ALL_CHECKERS)
+        b = lint_source(SIM, "import time\nu = time.time()\n", ALL_CHECKERS)
+        assert a[0].fingerprint != b[0].fingerprint
+
+    def test_duplicate_lines_get_distinct_fingerprints(self):
+        src = "import time\nt = time.time()\nt = time.time()\n"
+        findings = lint_source(SIM, src, ALL_CHECKERS)
+        fps = [f.fingerprint for f in findings]
+        assert len(fps) == 2 and fps[0] != fps[1]
+
+    def test_differs_across_modules(self):
+        a = lint_source(SIM, BAD_CLOCK, ALL_CHECKERS)
+        b = lint_source(Path("src/repro/core/other.py"), BAD_CLOCK, ALL_CHECKERS)
+        assert a[0].fingerprint != b[0].fingerprint
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = lint_source(SIM, BAD_CLOCK, ALL_CHECKERS)
+        bl = tmp_path / "baseline.json"
+        write_baseline(bl, findings)
+        fingerprints = load_baseline(bl)
+        assert fingerprints == {f.fingerprint for f in findings}
+        new, baselined = partition(findings, fingerprints)
+        assert new == [] and baselined == len(findings)
+
+    def test_partition_keeps_unknown_findings(self):
+        findings = lint_source(SIM, BAD_CLOCK, ALL_CHECKERS)
+        new, baselined = partition(findings, {"not-a-real-fingerprint"})
+        assert new == findings and baselined == 0
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+        bad.write_text('{"version": 1, "fingerprints": []}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+    def test_cli_baseline_flow(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/sim/bad.py", BAD_CLOCK)
+        bl = tmp_path / "baseline.json"
+        assert lint_main([str(tmp_path / "src"), "--write-baseline", str(bl)]) == 0
+        # Baselined finding no longer fails the run...
+        assert lint_main([str(tmp_path / "src"), "--baseline", str(bl)]) == 0
+        assert "baselined" in capsys.readouterr().out
+        # ...but a new finding alongside it still does.
+        _write(tmp_path, "src/repro/sim/worse.py", BAD_RNG)
+        assert lint_main([str(tmp_path / "src"), "--baseline", str(bl)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "bad.py" not in out
+
+    def test_cli_unreadable_baseline_is_usage_error(self, tmp_path):
+        _write(tmp_path, "src/repro/sim/bad.py", BAD_CLOCK)
+        bl = tmp_path / "nonsense.json"
+        bl.write_text("[]", encoding="utf-8")
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(tmp_path / "src"), "--baseline", str(bl)])
+        assert exc.value.code == 2
+
+    def test_baseline_survives_line_shift(self, tmp_path):
+        target = _write(tmp_path, "src/repro/sim/bad.py", BAD_CLOCK)
+        bl = tmp_path / "baseline.json"
+        assert lint_main([str(tmp_path / "src"), "--write-baseline", str(bl)]) == 0
+        target.write_text("# new header comment\n" + BAD_CLOCK, encoding="utf-8")
+        assert lint_main([str(tmp_path / "src"), "--baseline", str(bl)]) == 0
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+class TestSarif:
+    def _doc(self, findings=None):
+        findings = findings if findings is not None else lint_source(
+            SIM, BAD_CLOCK, ALL_CHECKERS
+        )
+        return to_sarif(findings, ALL_CHECKERS, root=Path.cwd())
+
+    def test_top_level_shape(self):
+        doc = self._doc()
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        assert len(doc["runs"]) == 1
+
+    def test_rule_catalog_covers_all_rules(self):
+        doc = self._doc()
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        ids = {r["id"] for r in driver["rules"]}
+        expected = {c.rule for c in ALL_CHECKERS} | set(ENGINE_RULES)
+        assert ids == expected
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] == "error"
+
+    def test_results_reference_rules_by_index(self):
+        doc = self._doc()
+        run = doc["runs"][0]
+        assert run["results"], "fixture produced no findings"
+        for result in run["results"]:
+            rule = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+            assert rule["id"] == result["ruleId"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1 and region["startColumn"] >= 1
+            assert region["endLine"] >= region["startLine"]
+
+    def test_results_carry_stable_fingerprints(self):
+        findings = lint_source(SIM, BAD_CLOCK, ALL_CHECKERS)
+        doc = self._doc(findings)
+        fps = [
+            r["partialFingerprints"]["reprolintFingerprint/v1"]
+            for r in doc["runs"][0]["results"]
+        ]
+        assert fps == [f.fingerprint for f in findings]
+
+    def test_uri_base_id_wiring(self):
+        doc = self._doc()
+        run = doc["runs"][0]
+        assert run["originalUriBaseIds"]["SRCROOT"]["uri"].startswith("file://")
+        loc = run["results"][0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        assert not loc["artifactLocation"]["uri"].startswith("/")
+
+    def test_document_is_json_serialisable(self):
+        json.dumps(self._doc())
+
+    def test_cli_writes_sarif_file(self, tmp_path):
+        _write(tmp_path, "src/repro/sim/bad.py", BAD_CLOCK)
+        out = tmp_path / "artifacts" / "lint.sarif"
+        assert lint_main([str(tmp_path / "src"), "--sarif", str(out), "-q"]) == 1
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["DET002"]
+
+
+# ----------------------------------------------------------------------
+# parallel execution
+# ----------------------------------------------------------------------
+class TestJobs:
+    def test_parallel_matches_serial(self, tmp_path):
+        _write(tmp_path, "src/repro/sim/a.py", BAD_CLOCK)
+        _write(tmp_path, "src/repro/core/b.py", BAD_RNG)
+        _write(tmp_path, "src/repro/dht/c.py", "def f(d):\n    return list(d.keys())\n")
+        _write(tmp_path, "src/repro/util/d.py", "X = 1\n")
+        serial = lint_paths([tmp_path / "src"], ALL_CHECKERS, jobs=1)
+        parallel = lint_paths([tmp_path / "src"], ALL_CHECKERS, jobs=2)
+        assert [f.render() for f in serial] == [f.render() for f in parallel]
+        assert [f.fingerprint for f in serial] == [f.fingerprint for f in parallel]
+
+    def test_jobs_auto_resolves(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/core/ok.py", "X = 1\n")
+        assert lint_main([str(tmp_path / "src"), "--jobs", "auto", "-q"]) == 0
+
+    def test_invalid_jobs_is_usage_error(self, tmp_path):
+        _write(tmp_path, "src/repro/core/ok.py", "X = 1\n")
+        for bad in ("0", "-2", "many"):
+            with pytest.raises(SystemExit) as exc:
+                lint_main([str(tmp_path / "src"), "--jobs", bad])
+            assert exc.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# explain
+# ----------------------------------------------------------------------
+class TestExplain:
+    def test_catalog_has_all_rules(self):
+        catalog = rule_catalog(ALL_CHECKERS)
+        assert {c.rule for c in ALL_CHECKERS} <= set(catalog)
+        assert set(ENGINE_RULES) <= set(catalog)
+
+    def test_explain_by_id_alias_and_case(self):
+        by_id = explain("DET003", ALL_CHECKERS)
+        assert by_id and "unordered" in by_id.lower()
+        assert explain("det003", ALL_CHECKERS) == by_id
+        assert explain("unsorted", ALL_CHECKERS) == by_id
+
+    def test_explain_engine_rule(self):
+        doc = explain("LNT002", ALL_CHECKERS)
+        assert doc and "suppress" in doc.lower()
+
+    def test_unknown_rule_returns_none(self):
+        assert explain("NOPE99", ALL_CHECKERS) is None
+
+    def test_cli_explain_exit_codes(self, capsys):
+        assert lint_main(["--explain", "PERF002"]) == 0
+        assert "rebuild" in capsys.readouterr().out.lower()
+        with pytest.raises(SystemExit) as exc:
+            lint_main(["--explain", "NOPE99"])
+        assert exc.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# runtime budget
+# ----------------------------------------------------------------------
+class TestMaxSeconds:
+    def test_generous_budget_passes(self, tmp_path):
+        _write(tmp_path, "src/repro/core/ok.py", "X = 1\n")
+        assert lint_main([str(tmp_path / "src"), "--max-seconds", "300", "-q"]) == 0
+
+    def test_zero_budget_fails_even_when_clean(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/core/ok.py", "X = 1\n")
+        assert lint_main([str(tmp_path / "src"), "--max-seconds", "0"]) == 1
+        assert "budget exceeded" in capsys.readouterr().out

@@ -71,6 +71,23 @@ class TestFailPeers:
         assert report["peers_remaining"] == 97.0
         assert net.n_peers == 97
 
+    def test_failure_wave_rebuilds_once(self, monkeypatch):
+        # PERF002 regression: fail_peers used to call remove_peer per
+        # peer, re-deriving every layer's rings once per failure.  The
+        # whole wave must trigger exactly one rebuild.
+        net = build_hieras(n=100)
+        calls = {"n": 0}
+        original = type(net)._rebuild
+
+        def counting_rebuild(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(type(net), "_rebuild", counting_rebuild)
+        fail_peers(net, [3, 17, 42, 55, 68])
+        assert calls["n"] == 1
+        assert net.n_peers == 95
+
     def test_routing_still_correct_after_failures(self):
         net = build_hieras(n=100)
         fail_peers(net, [5, 6, 7, 8])
