@@ -1,0 +1,21 @@
+"""Benchmark: the failure-campaign scenario suite (repro.scenarios).
+
+Delegates to the registered ``scenarios`` experiment: six named
+campaigns — graceful vs abrupt mass departure, the correlated regional
+(whole lowest-ring) failure, a flash join, Weibull session churn,
+rolling landmark outages — each compiled once and replayed against
+both stacks with availability, route-stretch, recovery-time and
+durability measurements.  Fails if any claim diverges — the regional
+campaign must exercise whole-ring loss and sustainably recover, the
+graceful/abrupt pair must separate on stretch, the rebalance pass must
+repair the flash-join dip, and the pinned regression gates must hold.
+The same document is written as ``BENCH_scenarios.json`` by
+``python -m repro.experiments scenario-bench``.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_scenarios(benchmark):
+    """Scenario sweep: availability, stretch, recovery, durability."""
+    run_experiment_benchmark(benchmark, "scenarios")

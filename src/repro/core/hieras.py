@@ -249,13 +249,20 @@ class HierasNetwork(DHTNetwork):
         """Remove ``peer`` (graceful leave or failure)."""
         self.remove_peers([peer])
 
-    def remove_peers(self, peers: list[int]) -> None:
+    def remove_peers(self, peers: list[int], *, graceful: bool = False) -> None:
         """Remove several peers in one membership change.
 
         A sequence of :meth:`remove_peer` calls (same checks, same
         error messages, in order) with a single rebuild of every layer's
         rings; validation runs against a scratch copy, so a rejected
         batch leaves the overlay untouched.
+
+        ``graceful=True`` models the §3.3 *announced* leave: after the
+        rings are rebuilt (ring successors re-assigned) but before the
+        departing disks drop, attached stores hear
+        ``on_graceful_leave`` and hand keys/hints off to the keys' new
+        replica groups.  The default (``False``) is a silent failure —
+        disks vanish with the peers.
         """
         alive = self._alive.copy()
         live = int(alive.sum())
@@ -268,6 +275,8 @@ class HierasNetwork(DHTNetwork):
             return
         self._alive = alive
         self._rebuild()
+        if graceful:
+            self._notify_departing(peers)
         self._notify_removed(peers)
 
     def revive_peer(self, peer: int) -> None:
@@ -290,6 +299,33 @@ class HierasNetwork(DHTNetwork):
         self._alive = alive
         self._rebuild()
         self._notify_revived(peers)
+
+    def rebind_peers(
+        self, peers: list[int], ring_names_per_peer: list[list[str]]
+    ) -> None:
+        """Re-assign lower-ring names for *offline* peers in place.
+
+        Models §2.3's degraded joins: a node (re)joining while a
+        landmark is down measures a blinded coordinate and lands in a
+        different low-layer ring than its position warrants.  Only
+        peers currently offline may be rebound (a live node's rings
+        cannot silently change); a later :meth:`revive_peers` brings
+        them back under the new names.  No rebuild happens here — the
+        rings only change when membership does.
+        """
+        require(
+            len(ring_names_per_peer) == len(peers),
+            "need one ring-name list per rebound peer",
+        )
+        for peer, ring_names in zip(peers, ring_names_per_peer):
+            require(not bool(self._alive[peer]), f"peer {peer} is alive; cannot rebind")
+            require(
+                len(ring_names) == self.depth - 1,
+                f"need {self.depth - 1} ring names, got {len(ring_names)}",
+            )
+        for peer, ring_names in zip(peers, ring_names_per_peer):
+            for k in range(self.depth - 1):
+                self._names[k][peer] = ring_names[k]
 
     # ------------------------------------------------------------------
     # ring accessors

@@ -27,7 +27,11 @@ class StorageListener(Protocol):
     ``drop_peer_state`` is called for every peer of a ``remove_peers``
     wave (the departed peer's disk is gone with it); listeners that also
     define ``on_revive(peers)`` hear about ``revive_peers`` waves — the
-    replication layer replays hinted-handoff queues there.
+    replication layer replays hinted-handoff queues there.  Listeners
+    that define ``on_graceful_leave(peers)`` additionally hear about
+    *announced* departures (``remove_peers(..., graceful=True)``)
+    before the departing disks are dropped, so they can hand keys and
+    hints off to the peers' successors while the data still exists.
     """
 
     def drop_peer_state(self, peer: int) -> None: ...
@@ -164,6 +168,20 @@ class DHTNetwork(ABC):
         for store in self._stores:
             for peer in peers:
                 store.drop_peer_state(int(peer))
+
+    def _notify_departing(self, peers: Iterable[int]) -> None:
+        """Announce a graceful leave to stores *before* disks drop.
+
+        Called by ``remove_peers(..., graceful=True)`` after the
+        membership flip (so successors are already re-assigned) but
+        before ``_notify_removed`` destroys the departing disks; stores
+        that define ``on_graceful_leave`` hand keys off there.
+        """
+        peer_list = [int(p) for p in peers]
+        for store in self._stores:
+            on_leave = getattr(store, "on_graceful_leave", None)
+            if on_leave is not None:
+                on_leave(peer_list)
 
     def _notify_revived(self, peers: Iterable[int]) -> None:
         """Fan a revive wave out to stores that listen for rejoins."""

@@ -133,13 +133,20 @@ class ChordNetwork(DHTNetwork):
         """Remove ``peer`` from the overlay (graceful leave or failure)."""
         self.remove_peers([peer])
 
-    def remove_peers(self, peers: list[int]) -> None:
+    def remove_peers(self, peers: list[int], *, graceful: bool = False) -> None:
         """Remove several peers in one membership change.
 
         Semantically a sequence of :meth:`remove_peer` calls (same
         checks, same error messages, in order) with a single ring
         rebuild at the end; validation runs against a scratch copy, so
         a rejected batch leaves the overlay untouched.
+
+        ``graceful=True`` models an *announced* departure: after the
+        ring is rebuilt (successors re-assigned) but before the
+        departing disks are dropped, attached stores hear
+        ``on_graceful_leave`` and hand keys/hints off to the keys' new
+        replica groups.  The default (``False``) is a silent kill —
+        disks vanish with the peers, exactly as before.
         """
         alive = self._alive.copy()
         live = int(alive.sum())
@@ -152,6 +159,8 @@ class ChordNetwork(DHTNetwork):
             return
         self._alive = alive
         self._rebuild()
+        if graceful:
+            self._notify_departing(peers)
         self._notify_removed(peers)
 
     def revive_peer(self, peer: int) -> None:

@@ -32,6 +32,12 @@ Subcommands
     and write ``BENCH_durability.json``: replication factor × churn ×
     {chain, quorum} × {successor, ring_scoped} cells on both stacks with
     data-loss probability, read staleness, and hinted-handoff traffic.
+``scenario-bench``
+    Run the failure-campaign scenario suite (``repro.experiments.scenarios_exp``)
+    and write ``BENCH_scenarios.json``: six named campaigns × both
+    stacks with availability, route stretch, recovery time and data
+    durability per cell; ``--check`` enforces the pinned regression
+    gates on the correlated regional failure.
 ``serve-bench``
     Run the serving-layer saturation study (``repro.experiments.serve_exp``)
     and write ``BENCH_serve.json``: offered load vs achieved throughput
@@ -276,6 +282,38 @@ def _cmd_durability_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios_exp import (
+        check_gates,
+        run_bench_scenarios,
+        write_bench_scenarios,
+    )
+
+    full = is_full_scale(True if args.full else None)
+    doc = run_bench_scenarios(full=full, seed=args.seed)
+    path = write_bench_scenarios(doc, args.out)
+    for name, phase in doc["phases"].items():
+        print(f"  {name:<24} {phase['wall_ms']:10.1f} ms")
+    for name, cells in doc["metrics"]["scenarios"].items():
+        for stack, cell in cells.items():
+            print(
+                f"  {name:<24} {stack:<8} "
+                f"avail min {cell['availability_min']:.3f} "
+                f"recovery {cell['recovery_ms']:6.0f} ms  "
+                f"stretch {cell['stretch_mean']:.2f}  "
+                f"loss {cell['loss_probability']:.3f}"
+            )
+    print(f"wrote {path}")
+    if args.check:
+        violations = check_gates(doc)
+        for violation in violations:
+            print(f"GATE VIOLATION: {violation}")
+        if violations:
+            return 1
+        print("all scenario gates hold")
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.experiments.serve_exp import run_bench_serve, write_bench_serve
 
@@ -373,6 +411,21 @@ def main(argv: list[str] | None = None) -> int:
     durability.add_argument("--full", action="store_true", help="paper-scale parameters")
     durability.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
     durability.set_defaults(func=_cmd_durability_bench)
+    scenario = sub.add_parser(
+        "scenario-bench",
+        help="run the failure-campaign scenario suite, write BENCH_scenarios.json",
+    )
+    scenario.add_argument(
+        "--out", default="BENCH_scenarios.json",
+        help="output path (default BENCH_scenarios.json)",
+    )
+    scenario.add_argument("--full", action="store_true", help="paper-scale parameters")
+    scenario.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
+    scenario.add_argument(
+        "--check", action="store_true",
+        help="evaluate the pinned regression gates; exit 1 on any violation",
+    )
+    scenario.set_defaults(func=_cmd_scenario_bench)
     serve = sub.add_parser(
         "serve-bench",
         help="run the serving-layer saturation study, write BENCH_serve.json",

@@ -1,0 +1,273 @@
+"""The scenario-suite benchmark: named failure campaigns, both stacks.
+
+Runs every campaign in :mod:`repro.scenarios.library` against flat
+Chord and HIERAS on the same deployment config and collects the four
+scenario-level measurements — availability over time, route stretch
+versus a fault-free twin, sustained recovery time, and data
+durability — into one ``BENCH_scenarios.json`` document.
+
+The document follows the repo-wide ``BENCH_*`` convention: ``phases``
+holds wall-clock timings (nondeterministic), ``metrics`` is a pure
+function of ``(config, seed)`` and byte-reproducible — CI re-runs the
+reduced sweep twice and compares the serialized ``metrics`` sections.
+
+:data:`GATES` pins regression thresholds for the adversarial headline
+(the correlated regional failure): if HIERAS availability collapses
+further than observed at pin time, recovery slows past the ceiling, or
+data loss appears where none was, :func:`check_gates` reports the
+violations and the CI job fails.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.config import SimConfig
+from repro.scenarios.runner import run_scenario_cell
+from repro.scenarios.spec import ScenarioParams
+from repro.scenarios.library import scenario_names
+
+__all__ = [
+    "SCHEMA",
+    "GATES",
+    "run_bench_scenarios",
+    "check_gates",
+    "write_bench_scenarios",
+]
+
+SCHEMA = "repro.bench_scenarios/1"
+
+#: Regression thresholds for the reduced (CI) sweep at the default
+#: seed, pinned from the run committed as ``BENCH_scenarios.json``.
+#: Keys are ``(scenario, stack)``; each gate names a metric, a bound
+#: direction, and the pinned limit (with headroom over the observed
+#: value so only a real regression trips it).
+#:
+#: Pinned observations (reduced sweep, seed 42): HIERAS rides out the
+#: whole-ring crash at availability_min 0.583 and recovers in 650 ms,
+#: but ring-scoped placement loses 20.3% of keys to the correlated
+#: failure; Chord bottoms at 0.708, recovers in 650 ms, loses nothing.
+GATES: dict[tuple[str, str], dict[str, tuple[str, float]]] = {
+    ("regional_failure", "hieras"): {
+        "availability_min": ("min", 0.40),
+        "recovery_ms": ("max", 1400.0),
+        "loss_probability": ("max", 0.35),
+        "availability_final": ("min", 0.95),
+    },
+    ("regional_failure", "chord"): {
+        "availability_min": ("min", 0.50),
+        "recovery_ms": ("max", 1400.0),
+        "loss_probability": ("max", 0.05),
+    },
+}
+
+
+def run_bench_scenarios(
+    *,
+    full: bool = False,
+    seed: int = 42,
+    scenarios: tuple[str, ...] | None = None,
+) -> dict[str, object]:
+    """Run the scenario sweep once; returns the BENCH document.
+
+    Every named campaign replays against both stacks on the same
+    deployment config — the campaigns themselves are compiled from the
+    pristine HIERAS overlay, so e.g. the regional failure kills the
+    identical peer set under flat Chord.  ``full`` scales peers,
+    duration and probe density up; the reduced shape is the CI smoke
+    sweep.
+    """
+    names = list(scenarios) if scenarios is not None else scenario_names()
+    config = SimConfig(
+        model="ts",
+        n_peers=1200 if full else 360,
+        n_landmarks=4,
+        depth=2,
+        seed=seed,
+    )
+    params = ScenarioParams(
+        seed=seed,
+        duration_ms=8000.0 if full else 3000.0,
+        probe_interval_ms=200.0 if full else 150.0,
+        n_probes=32 if full else 24,
+        rate_per_s=60.0 if full else 40.0,
+        fault_at_ms=2000.0 if full else 1000.0,
+        stabilize_delay_ms=600.0,
+        catalog_size=128 if full else 64,
+    )
+
+    phases: dict[str, dict[str, float]] = {}
+
+    def timed(name: str):
+        class _Phase:
+            def __enter__(self_inner):
+                self_inner.t0 = time.perf_counter()  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+                return self_inner
+
+            def __exit__(self_inner, *exc):
+                phases[name] = {
+                    "wall_ms": (time.perf_counter() - self_inner.t0) * 1000.0  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+                }
+                return False
+
+        return _Phase()
+
+    results: dict[str, dict[str, dict[str, object]]] = {}
+    for name in names:
+        with timed(name):
+            results[name] = {
+                stack: run_scenario_cell(config, name, stack, params)
+                for stack in ("chord", "hieras")
+            }
+
+    headline = _headline(results, params)
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "full": full,
+            "seed": seed,
+            "n_peers": config.n_peers,
+            "n_landmarks": config.n_landmarks,
+            "depth": config.depth,
+            "duration_ms": params.duration_ms,
+            "probe_interval_ms": params.probe_interval_ms,
+            "n_probes": params.n_probes,
+            "rate_per_s": params.rate_per_s,
+            "scenarios": names,
+        },
+        "phases": phases,
+        "metrics": {"scenarios": results, "headline": headline},
+    }
+
+
+def _headline(
+    results: dict[str, dict[str, dict[str, object]]], params: ScenarioParams
+) -> dict[str, object]:
+    """Condense the cross-scenario comparisons the suite exists for."""
+    headline: dict[str, object] = {}
+    if "regional_failure" in results:
+        headline["regional_failure"] = {
+            stack: {
+                "availability_min": cell["availability_min"],
+                "availability_final": cell["availability_final"],
+                "recovery_ms": cell["recovery_ms"],
+                "recovered": cell["recovered"],
+                "loss_probability": cell["loss_probability"],
+                "ring_size": cell["notes"]["ring_size"],  # type: ignore[index]
+            }
+            for stack, cell in results["regional_failure"].items()
+        }
+    if "graceful_leave" in results and "abrupt_crash" in results:
+        headline["graceful_vs_abrupt"] = {
+            stack: {
+                "graceful_loss": results["graceful_leave"][stack]["loss_probability"],
+                "abrupt_loss": results["abrupt_crash"][stack]["loss_probability"],
+                "graceful_availability_min": results["graceful_leave"][stack][
+                    "availability_min"
+                ],
+                "abrupt_availability_min": results["abrupt_crash"][stack][
+                    "availability_min"
+                ],
+                "graceful_stretch": results["graceful_leave"][stack]["stretch_mean"],
+                "abrupt_stretch": results["abrupt_crash"][stack]["stretch_mean"],
+            }
+            for stack in ("chord", "hieras")
+        }
+    if "flash_join" in results:
+        flash: dict[str, object] = {}
+        for stack, cell in results["flash_join"].items():
+            rebalance_at = float(cell["notes"]["rebalance_at_ms"])  # type: ignore[index]
+            totals = cell["gets_total_timeline"]
+            oks = cell["gets_ok_timeline"]
+            pre_total = pre_ok = post_total = post_ok = 0.0
+            for i in range(len(totals)):  # type: ignore[arg-type]
+                t = (i + 1) * params.probe_interval_ms
+                if t <= params.fault_at_ms:
+                    continue
+                if t <= rebalance_at:
+                    pre_total += totals[i]  # type: ignore[index]
+                    pre_ok += oks[i]  # type: ignore[index]
+                else:
+                    post_total += totals[i]  # type: ignore[index]
+                    post_ok += oks[i]  # type: ignore[index]
+            flash[stack] = {
+                "rebalanced": cell["rebalanced"],
+                "pre_rebalance_get_failure": (
+                    1.0 - pre_ok / pre_total if pre_total else 0.0
+                ),
+                "post_rebalance_get_failure": (
+                    1.0 - post_ok / post_total if post_total else 0.0
+                ),
+            }
+        headline["flash_join"] = flash
+    if "landmark_outage_rolling" in results:
+        headline["landmark_outage"] = {
+            stack: {
+                "stretch_mean": cell["stretch_mean"],
+                "stretch_max": cell["stretch_max"],
+                "availability_min": cell["availability_min"],
+            }
+            for stack, cell in results["landmark_outage_rolling"].items()
+        }
+    if "weibull_churn" in results:
+        headline["weibull_churn"] = {
+            stack: {
+                "availability_mean": cell["availability_mean"],
+                "availability_min": cell["availability_min"],
+                "loss_probability": cell["loss_probability"],
+                "graceful_handoffs": cell["graceful_handoffs"],
+            }
+            for stack, cell in results["weibull_churn"].items()
+        }
+    return headline
+
+
+def check_gates(doc: dict[str, object]) -> list[str]:
+    """Evaluate :data:`GATES` against a BENCH document; list violations.
+
+    Gates are pinned for the reduced default-seed sweep; a ``full`` or
+    reseeded document is checked against the same limits (they carry
+    headroom, and a wildly different shape should be looked at anyway).
+    Returns human-readable violation strings; empty means all gates
+    hold.
+    """
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return ["document has no metrics section"]
+    scenarios = metrics.get("scenarios")
+    if not isinstance(scenarios, dict):
+        return ["metrics has no scenarios section"]
+    violations: list[str] = []
+    for (scenario, stack), rules in sorted(GATES.items()):
+        cell = scenarios.get(scenario, {}).get(stack)
+        if cell is None:
+            violations.append(f"{scenario}/{stack}: cell missing from document")
+            continue
+        for metric, (direction, limit) in sorted(rules.items()):
+            value = cell.get(metric)
+            if not isinstance(value, (int, float)):
+                violations.append(f"{scenario}/{stack}: metric {metric!r} missing")
+                continue
+            if metric == "recovery_ms" and value < 0.0:
+                # -1.0 is the censored sentinel: never recovered.
+                violations.append(
+                    f"{scenario}/{stack}: never re-crossed the recovery threshold"
+                )
+            elif direction == "min" and value < limit:
+                violations.append(
+                    f"{scenario}/{stack}: {metric}={value:.4f} below floor {limit}"
+                )
+            elif direction == "max" and value > limit:
+                violations.append(
+                    f"{scenario}/{stack}: {metric}={value:.4f} above ceiling {limit}"
+                )
+    return violations
+
+
+def write_bench_scenarios(doc: dict[str, object], out: str | Path) -> Path:
+    """Write one BENCH_scenarios document as stable, indented JSON."""
+    path = Path(out)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -130,6 +130,49 @@ class FaultPlan:
         )
         return self
 
+    def crash_ring(
+        self, *, at_ms: float, network: Any, name: str, layer: int | None = None
+    ) -> "FaultPlan":
+        """Crash every member of one HIERAS low-layer ring at ``at_ms``.
+
+        The correlated-failure primitive: a whole topology-aware ring
+        (all peers sharing landmark order ``name`` at ``layer``,
+        default the lowest layer) dies in one wave — the worst case for
+        HIERAS's locality-derived rings.  Members are resolved *now*,
+        from the network's current live membership, and sorted, so the
+        resulting spec is a plain ``crash_peers`` — deterministic and
+        applicable to any same-population network (e.g. the flat Chord
+        baseline, for a head-to-head comparison).
+        """
+        layer = int(layer) if layer is not None else int(network.depth)
+        rings = network.rings_at_layer(layer)
+        require(name in rings, f"no ring named {name!r} at layer {layer}")
+        members = sorted(int(p) for p in rings[name].peers)
+        return self.crash_peers(at_ms=at_ms, peers=members)
+
+    def crash_region(
+        self, *, at_ms: float, attachment: Any, domain: int
+    ) -> "FaultPlan":
+        """Crash every peer attached inside one stub domain at ``at_ms``.
+
+        Topology-level correlated failure: all overlay peers whose
+        attachment router lies in stub ``domain`` of a transit-stub
+        topology die together (a regional outage).  Resolution is
+        deterministic — peers are read from the attachment's
+        ``router_of_peer`` map against the topology's
+        ``stub_domain_of`` labels and sorted.
+        """
+        topology = attachment.topology
+        stub_of = getattr(topology, "stub_domain_of", None)
+        require(
+            stub_of is not None,
+            "crash_region needs a transit-stub topology (stub_domain_of)",
+        )
+        routers = np.asarray(attachment.router_of_peer, dtype=np.int64)
+        members = sorted(int(p) for p in np.flatnonzero(stub_of[routers] == domain))
+        require(bool(members), f"stub domain {domain} hosts no overlay peers")
+        return self.crash_peers(at_ms=at_ms, peers=members)
+
     def landmark_outage(self, *, at_ms: float, landmark: int) -> "FaultPlan":
         """Take one landmark offline at ``at_ms``.
 

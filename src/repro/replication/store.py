@@ -96,6 +96,8 @@ class ReplicationStats:
     contact_failures: int = 0
     hints_queued: int = 0
     hints_replayed: int = 0
+    graceful_handoffs: int = 0
+    rebalanced: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Stable JSON-safe dump (used by BENCH_durability)."""
@@ -115,6 +117,8 @@ class ReplicationStats:
             "contact_failures": float(self.contact_failures),
             "hints_queued": float(self.hints_queued),
             "hints_replayed": float(self.hints_replayed),
+            "graceful_handoffs": float(self.graceful_handoffs),
+            "rebalanced": float(self.rebalanced),
         }
 
 
@@ -282,6 +286,65 @@ class ReplicatedStore:
                 self._write_local(int(peer), key, value, version)
                 self.stats.hints_replayed += 1
                 self._count("replication.hints_replayed")
+
+    def on_graceful_leave(self, peers: list[int]) -> None:
+        """Hand departing peers' keys off to their current owners.
+
+        Delivered by ``remove_peers(..., graceful=True)`` after the
+        membership flip but *before* the disks drop: every key a
+        departing peer holds is copied (value + version) to the key's
+        post-departure replica group, so an announced leave loses no
+        data the departing node was the last holder of.  Handoffs are
+        background transfers — no routed hops, no charged contacts —
+        and never clobber newer versions (the local-write version
+        check).  The walk is sorted (peers, then keys) for determinism.
+        """
+        for peer in sorted(int(p) for p in peers):
+            disk = self._stored.get(peer)
+            if not disk:
+                continue
+            for key in sorted(disk):
+                value, version = disk[key]
+                for target in replica_group(self.network, key, self.policy):
+                    if int(target) != peer:
+                        self._write_local(int(target), key, value, version)
+                self.stats.graceful_handoffs += 1
+                self._count("replication.graceful_handoffs")
+
+    def rebalance(self) -> int:
+        """Re-home every key onto its *current* replica group.
+
+        Membership waves move ownership: after a flash join, a key's
+        replica group may name fresh peers that hold nothing, while the
+        copies sit on peers no longer responsible.  One rebalance pass
+        walks the catalogue (sorted — deterministic), finds the
+        freshest copy on any live holder, and writes it to each group
+        member that is missing it or holds an older version.  Copies
+        are background transfers (no routed hops or charged contacts).
+        Returns the number of replica writes performed.
+        """
+        moved = 0
+        disks = sorted(self._stored.items())
+        for key in sorted(self._catalog):
+            best: tuple[Any, int] | None = None
+            for peer, disk in disks:
+                if not self._peer_live(peer):
+                    continue
+                held = disk.get(key)
+                if held is not None and (best is None or held[1] > best[1]):
+                    best = held
+            if best is None:
+                continue
+            value, version = best
+            for target in replica_group(self.network, key, self.policy):
+                held = self._read_local(int(target), key)
+                if held is None or held[1] < version:
+                    self._write_local(int(target), key, value, version)
+                    moved += 1
+        self.stats.rebalanced += moved
+        if moved:
+            self._count("replication.rebalanced", moved)
+        return moved
 
     def drop_peer_state(self, peer: int) -> None:
         """Forget a departed peer's disk (its storage is gone).

@@ -1,0 +1,257 @@
+"""Replay one compiled scenario against one stack and measure it.
+
+The runner owns the scenario clock.  Time advances in probe-interval
+ticks; each tick, in order:
+
+1. the fault clock advances (:meth:`ReplicatedStore.advance_to` —
+   injector crashes/revives/outages fire, hint queues replay);
+2. due membership waves apply (graceful leaves, stabilize purges,
+   join/revive waves, rebalance passes), filtered against ground truth
+   so a peer that rejoined early is not purged by a stale wave;
+3. the client ops that arrived since the last tick execute against the
+   replicated store (loadgen-generated
+   :class:`~repro.serve.request.Request` records — the same stream the
+   serving layer consumes);
+4. a probe cohort routes ``n_probes`` seeded lookups through
+   ``route_lossy`` — the availability sample — and each success is
+   priced against the same lookup on a pristine fault-free twin of the
+   network (built from the identical config), giving route stretch.
+
+Everything is a pure function of ``(config, scenario, stack,
+params)``: networks are built fresh per cell, all randomness flows
+through named :class:`~repro.util.rng.RngFactory` streams, and the
+returned metrics are byte-reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import SimConfig
+from repro.experiments.runner import build_bundle
+from repro.faults.injector import FaultInjector
+from repro.loadgen.workload import WorkloadMix, catalog_names, generate
+from repro.replication.policy import ReplicationPolicy
+from repro.replication.store import ReplicatedStore
+from repro.scenarios.library import SCENARIOS
+from repro.scenarios.spec import CompiledScenario, ScenarioParams
+from repro.scenarios.timeline import recovery_time_ms, series_summary
+from repro.util.rng import RngFactory
+from repro.util.validation import require
+
+__all__ = ["run_scenario_cell"]
+
+
+def _apply_wave(net, store: ReplicatedStore, injector: FaultInjector, wave) -> None:
+    """Apply one membership wave, filtered against current ground truth."""
+    if wave.kind == "rebalance":
+        store.rebalance()
+        return
+    if wave.kind == "leave_graceful":
+        live = [p for p in wave.peers if net.is_alive(p)]
+        if live:
+            net.remove_peers(live, graceful=True)
+    elif wave.kind == "remove":
+        live = [p for p in wave.peers if net.is_alive(p)]
+        if live:
+            net.remove_peers(live)
+    elif wave.kind == "stabilize":
+        # Purge only peers still crashed: one that rejoined before the
+        # stabilization round reached it must not be evicted.
+        dead = [p for p in wave.peers if net.is_alive(p) and injector.state.is_dead(p)]
+        if dead:
+            net.remove_peers(dead)
+    elif wave.kind == "revive":
+        offline = [p for p in wave.peers if not net.is_alive(p)]
+        if offline:
+            net.revive_peers(offline)
+    elif wave.kind == "rebind_revive":
+        pairs = [
+            (p, list(names))
+            for p, names in zip(wave.peers, wave.ring_names)
+            if not net.is_alive(p)
+        ]
+        if pairs:
+            peers = [p for p, _ in pairs]
+            if hasattr(net, "rebind_peers"):
+                net.rebind_peers(peers, [names for _, names in pairs])
+            net.revive_peers(peers)
+    else:  # pragma: no cover - spec validation guarantees known kinds
+        raise ValueError(f"unknown wave kind {wave.kind!r}")
+
+
+def run_scenario_cell(
+    config: SimConfig,
+    scenario: str,
+    stack: str,
+    params: ScenarioParams,
+) -> dict[str, object]:
+    """One (scenario, stack) cell; returns deterministic metrics.
+
+    ``stack`` selects ``"chord"`` or ``"hieras"``.  The campaign is
+    compiled against a pristine bundle of ``config`` (so both stacks
+    replay identical peer sets), then replayed tick by tick as the
+    module docstring describes.
+    """
+    require(scenario in SCENARIOS, f"unknown scenario {scenario!r}")
+    require(stack in ("chord", "hieras"), f"unknown stack {stack!r}")
+    # Two independent builds of the same config: the live network (and
+    # the compile-time view) mutates; the twin stays pristine and
+    # prices the fault-free baseline paths for route stretch.
+    bundle = build_bundle(config)
+    baseline = build_bundle(config)
+    compiled: CompiledScenario = SCENARIOS[scenario](bundle, params)
+    net = bundle.chord if stack == "chord" else bundle.hieras
+    base_net = baseline.chord if stack == "chord" else baseline.hieras
+    universe = config.n_peers
+
+    injector = FaultInjector(compiled.plan, universe)
+    policy = ReplicationPolicy(
+        replicas=params.replicas, consistency="quorum", placement="ring_scoped"
+    )
+    store = ReplicatedStore(net, policy, injector=injector)
+    net.attach_store(store)
+    if compiled.initial_offline:
+        net.remove_peers(list(compiled.initial_offline))
+
+    # Seed the catalogue on the initial membership so reads have data
+    # from t=0; versions stamped here are the durability ground truth.
+    mix = WorkloadMix(
+        read_fraction=params.read_fraction,
+        catalog_size=params.catalog_size,
+        name_prefix="sk",
+    )
+    for name in catalog_names(mix):
+        store.seed_key(name, f"seed-{name}")
+
+    rngs = RngFactory(params.seed)
+    arrivals = compiled.schedule.arrival_times(rngs.get(f"scenario-{scenario}-arrivals"))
+    pool = np.asarray(
+        sorted(set(range(universe)) - set(compiled.initial_offline)), dtype=np.int64
+    )
+    requests = generate(mix, arrivals, pool, rngs.get(f"scenario-{scenario}-ops"))
+
+    n_ticks = int(compiled.duration_ms // params.probe_interval_ms)
+    probe_src = rngs.get(f"scenario-{scenario}-probe-src").integers(
+        0, universe, size=(n_ticks, params.n_probes)
+    )
+    probe_key = rngs.get(f"scenario-{scenario}-probe-key").integers(
+        0, bundle.space.size, size=(n_ticks, params.n_probes), dtype=np.uint64
+    )
+
+    def resolve_live(peer: int) -> int:
+        """Deterministic walk to the next live, non-crashed peer."""
+        p = int(peer) % universe
+        while not (net.is_alive(p) and not injector.state.is_dead(p)):
+            p = (p + 1) % universe
+        return p
+
+    times: list[float] = []
+    availability: list[float] = []
+    stretch_timeline: list[float] = []
+    gets_total_tl: list[float] = []
+    gets_ok_tl: list[float] = []
+    stretch_sum = 0.0
+    stretch_max = 0.0
+    stretch_n = 0
+    puts_ok = puts_total = gets_ok = gets_total = lost_gets = 0
+    wave_i = 0
+    req_i = 0
+    for tick in range(1, n_ticks + 1):
+        t = tick * params.probe_interval_ms
+        store.advance_to(t)
+        while wave_i < len(compiled.waves) and compiled.waves[wave_i].time_ms <= t:
+            _apply_wave(net, store, injector, compiled.waves[wave_i])
+            wave_i += 1
+        tick_gets = tick_gets_ok = 0
+        while req_i < len(requests) and requests[req_i].at_ms <= t:
+            req = requests[req_i]
+            req_i += 1
+            src = resolve_live(req.source)
+            if req.op == "get":
+                got = store.get(src, req.name)
+                gets_total += 1
+                tick_gets += 1
+                if got.lost:
+                    lost_gets += 1
+                if got.success and not got.lost:
+                    gets_ok += 1
+                    tick_gets_ok += 1
+            else:
+                put = store.put(src, req.name, req.value)
+                puts_total += 1
+                if put.success:
+                    puts_ok += 1
+        ok = 0
+        tick_stretch_sum = 0.0
+        tick_stretch_n = 0
+        for j in range(params.n_probes):
+            src = resolve_live(int(probe_src[tick - 1, j]))
+            key = int(probe_key[tick - 1, j])
+            result = net.route_lossy(src, key, injector=injector)
+            if not result.success:
+                continue
+            ok += 1
+            base = base_net.route(src, key)
+            if base.latency_ms > 0.0:
+                ratio = result.total_latency_ms / base.latency_ms
+                tick_stretch_sum += ratio
+                tick_stretch_n += 1
+                stretch_sum += ratio
+                stretch_n += 1
+                if ratio > stretch_max:
+                    stretch_max = ratio
+        times.append(t)
+        availability.append(ok / params.n_probes)
+        stretch_timeline.append(
+            tick_stretch_sum / tick_stretch_n if tick_stretch_n else -1.0
+        )
+        gets_total_tl.append(float(tick_gets))
+        gets_ok_tl.append(float(tick_gets_ok))
+
+    audit = store.loss_audit()
+    stats = store.stats
+    summary = series_summary(availability)
+    recovery_ms, recovered = recovery_time_ms(
+        times,
+        availability,
+        fault_start_ms=compiled.fault_start_ms,
+        threshold=params.recovery_threshold,
+    )
+    return {
+        "scenario": scenario,
+        "stack": stack,
+        "n_peers": float(universe),
+        "initial_live": float(universe - len(compiled.initial_offline)),
+        "ticks": float(n_ticks),
+        "probes_per_tick": float(params.n_probes),
+        "availability": availability,
+        "availability_mean": summary["mean"],
+        "availability_min": summary["min"],
+        "availability_final": summary["final"],
+        "recovery_ms": recovery_ms,
+        "recovered": float(recovered),
+        "stretch_timeline": stretch_timeline,
+        "stretch_mean": stretch_sum / stretch_n if stretch_n else -1.0,
+        "stretch_max": stretch_max,
+        "stretch_samples": float(stretch_n),
+        "gets_total_timeline": gets_total_tl,
+        "gets_ok_timeline": gets_ok_tl,
+        "puts": float(puts_total),
+        "put_success_rate": puts_ok / puts_total if puts_total else 1.0,
+        "gets": float(gets_total),
+        "get_success_rate": gets_ok / gets_total if gets_total else 1.0,
+        "lost_get_rate": lost_gets / gets_total if gets_total else 0.0,
+        "graceful_handoffs": float(stats.graceful_handoffs),
+        "hints_queued": float(stats.hints_queued),
+        "hints_replayed": float(stats.hints_replayed),
+        "rebalanced": float(stats.rebalanced),
+        "crashed_final": float(int(injector.state.dead.sum())),
+        "live_final": float(net.n_peers),
+        "loss_probability": audit["loss_probability"],
+        "stale_probability": audit["stale_probability"],
+        "keys": audit["keys"],
+        "lost": audit["lost"],
+        "intact": audit["intact"],
+        "notes": dict(compiled.notes),
+    }

@@ -1,0 +1,55 @@
+"""Availability time-series analysis: recovery time and summaries.
+
+The runner produces one probe-availability sample per tick; these
+helpers turn that series into the scenario-level numbers the suite
+reports.  Recovery uses the *sustained* definition: the system has
+recovered at the earliest tick from which availability never again
+drops below the threshold — a single good cohort during a flapping
+phase does not count.
+"""
+
+from __future__ import annotations
+
+__all__ = ["recovery_time_ms", "series_summary"]
+
+
+def recovery_time_ms(
+    times_ms: list[float],
+    rates: list[float],
+    *,
+    fault_start_ms: float,
+    threshold: float,
+) -> tuple[float, bool]:
+    """Sustained-recovery time after a fault window opens.
+
+    Returns ``(recovery_ms, recovered)``: the delay from
+    ``fault_start_ms`` to the earliest tick at or after it from which
+    every remaining sample stays at or above ``threshold``; ``(-1.0,
+    False)`` when the series never sustains the threshold (censored —
+    the campaign outlived the observation window).  A scenario whose
+    availability never dips recovers at the first post-fault tick,
+    i.e. within one probe interval.
+    """
+    candidate: float | None = None
+    for t, rate in zip(times_ms, rates):
+        if t < fault_start_ms:
+            continue
+        if rate >= threshold:
+            if candidate is None:
+                candidate = t
+        else:
+            candidate = None
+    if candidate is None:
+        return -1.0, False
+    return max(candidate - fault_start_ms, 0.0), True
+
+
+def series_summary(rates: list[float]) -> dict[str, float]:
+    """Mean / min / final of one availability series (empty-safe)."""
+    if not rates:
+        return {"mean": 0.0, "min": 0.0, "final": 0.0}
+    return {
+        "mean": sum(rates) / len(rates),
+        "min": min(rates),
+        "final": rates[-1],
+    }

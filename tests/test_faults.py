@@ -406,3 +406,126 @@ class TestProtocolResilience:
         assert total == 20
         assert out["completed"] >= 0.9 * total
         assert out["correct"] >= 0.9 * out["completed"]
+
+
+class TestCrashRingAndRegion:
+    """Deterministic member resolution for the topology-aware builders."""
+
+    def test_crash_ring_resolves_sorted_members(self, small_networks):
+        _, hieras = small_networks
+        rings = hieras.rings_at_layer(hieras.depth)
+        name = sorted(rings)[0]
+        plan = FaultPlan(seed=5).crash_ring(at_ms=10.0, network=hieras, name=name)
+        crash = plan.events(hieras.n_peers)[0]
+        assert crash.kind == "crash"
+        assert list(crash.peers) == sorted(int(p) for p in rings[name].peers)
+
+    def test_crash_ring_unknown_name_rejected(self, small_networks):
+        _, hieras = small_networks
+        with pytest.raises(ValueError):
+            FaultPlan().crash_ring(at_ms=0.0, network=hieras, name="no-such-ring")
+
+    def test_crash_region_matches_stub_domain(self, small_deployment):
+        attachment, _, _, _ = small_deployment
+        topo = attachment.topology
+        routers = np.asarray(attachment.router_of_peer)
+        domain = int(topo.stub_domain_of[routers[0]])
+        plan = FaultPlan().crash_region(at_ms=1.0, attachment=attachment, domain=domain)
+        crash = plan.events(len(routers))[0]
+        expected = sorted(
+            int(p) for p in np.flatnonzero(topo.stub_domain_of[routers] == domain)
+        )
+        assert list(crash.peers) == expected
+        assert 0 in crash.peers
+
+    def test_crash_region_empty_domain_rejected(self, small_deployment):
+        attachment, _, _, _ = small_deployment
+        topo = attachment.topology
+        empty = int(topo.stub_domain_of.max()) + 99
+        with pytest.raises(ValueError):
+            FaultPlan().crash_region(at_ms=0.0, attachment=attachment, domain=empty)
+
+
+class TestEventOrderingAndPartitionDeterminism:
+    def test_mixed_builders_sort_by_time_with_stable_ties(self, small_networks):
+        _, hieras = small_networks
+        name = sorted(hieras.rings_at_layer(hieras.depth))[0]
+        events = (
+            FaultPlan(seed=8)
+            .crash_ring(at_ms=300.0, network=hieras, name=name)
+            .loss_burst(at_ms=100.0, rate=0.2, duration_ms=200.0)
+            .partition(at_ms=300.0, duration_ms=50.0)
+            .events(hieras.n_peers)
+        )
+        times = [e.time_ms for e in events]
+        assert times == sorted(times)
+        # Both the loss_end, the crash and the partition_start land at
+        # t=300; stable argsort preserves builder declaration order.
+        assert [e.kind for e in events] == [
+            "loss_start",
+            "crash",
+            "loss_end",
+            "partition_start",
+            "partition_end",
+        ]
+
+    def test_partition_groups_deterministic_per_seed(self):
+        def groups(seed):
+            events = (
+                FaultPlan(seed=seed)
+                .partition(at_ms=0.0, duration_ms=10.0, n_groups=3)
+                .events(60)
+            )
+            return events[0].groups
+
+        assert groups(21) == groups(21)
+        assert groups(21) != groups(22)
+
+    def test_partition_groups_independent_of_later_specs(self):
+        """Streams are keyed by spec index: appending specs after the
+        partition must not perturb its group assignment."""
+        bare = FaultPlan(seed=13).partition(at_ms=5.0, duration_ms=10.0)
+        padded = (
+            FaultPlan(seed=13)
+            .partition(at_ms=5.0, duration_ms=10.0)
+            .crash_fraction(at_ms=0.0, fraction=0.1)
+        )
+        bare_groups = [e for e in bare.events(40) if e.kind == "partition_start"][0].groups
+        padded_groups = [e for e in padded.events(40) if e.kind == "partition_start"][0].groups
+        assert bare_groups == padded_groups
+
+
+class TestReviveAfterPartition:
+    def test_revive_during_partition_respects_sides(self):
+        plan = (
+            FaultPlan(seed=17)
+            .partition(at_ms=0.0, duration_ms=100.0, n_groups=2)
+            .crash_peers(at_ms=10.0, peers=[1])
+            .revive_peers(at_ms=20.0, peers=[1])
+        )
+        injector = FaultInjector(plan, 20)
+        groups = [e for e in plan.events(20) if e.kind == "partition_start"][0].groups
+        same = next(p for p in range(2, 20) if groups[p] == groups[1])
+        other = next(p for p in range(2, 20) if groups[p] != groups[1])
+        injector.advance_to(15.0)
+        assert injector.state.is_dead(1)
+        injector.advance_to(30.0)
+        # Revived mid-partition: reachable from its own side only.
+        assert not injector.state.is_dead(1)
+        assert injector.state.reachable(same, 1)
+        assert not injector.state.reachable(other, 1)
+        injector.advance_to(150.0)
+        # Partition healed: both sides reach the revived peer.
+        assert injector.state.reachable(other, 1)
+
+    def test_revive_exactly_at_partition_end_is_fully_reachable(self):
+        plan = (
+            FaultPlan(seed=19)
+            .partition(at_ms=0.0, duration_ms=50.0)
+            .crash_peers(at_ms=5.0, peers=[3])
+            .revive_peers(at_ms=50.0, peers=[3])
+        )
+        injector = FaultInjector(plan, 10)
+        injector.advance_to(50.0)
+        assert not injector.state.is_dead(3)
+        assert all(injector.state.reachable(p, 3) for p in range(10) if p != 3)
