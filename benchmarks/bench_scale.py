@@ -1,0 +1,18 @@
+"""Benchmark: million-peer scale-out at smoke size.
+
+Delegates to the registered ``scale`` experiment, which builds
+deployments through :mod:`repro.scale` (streaming latency models,
+bounded transit-stub blocks), drives membership waves through the
+incremental splice path, checks the spliced state bit-identical to a
+full rebuild, and streams seeded lookups through both stacks in
+bounded chunks.  The committed ``BENCH_scale.json`` holds the
+N=1,000,000 / 10⁷-lookup acceptance evidence; this benchmark keeps the
+same code paths timed at CI-friendly sizes.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_scale(benchmark):
+    """Build + waves + streamed lookups with all scale contracts gated."""
+    run_experiment_benchmark(benchmark, "scale")

@@ -151,20 +151,41 @@ class BinningScheme:
         matrices = [
             self.level_matrix(distances, k) for k in range(len(self.level_boundaries))
         ]
+        # Factorised construction: render each *distinct* level row once
+        # (O(#rings) Python string work, not O(n_nodes)) and keep the
+        # per-node assignment as int codes into the name pool.  The
+        # object-array names are views into the pool (shared strings),
+        # so million-node order sets stay cheap to build and hold.
         names: list[np.ndarray] = []
+        pools: list[list[str]] = []
+        codes_per_layer: list[np.ndarray] = []
+        parent_codes = np.zeros(len(distances), dtype=np.int64)
+        parent_pool: list[str] = []
         for k, mat in enumerate(matrices):
-            layer_digits = np.asarray([_digits(row) for row in mat], dtype=object)
+            rows, inv = np.unique(mat, axis=0, return_inverse=True)
+            digit_pool = [_digits(row) for row in rows]
             if k == 0:
-                names.append(layer_digits)
+                pool = digit_pool
+                layer_codes = inv.astype(np.int64)
             else:
-                names.append(
-                    np.asarray(
-                        [f"{p}/{d}" for p, d in zip(names[-1], layer_digits)],
-                        dtype=object,
-                    )
-                )
+                pairs = np.stack([parent_codes, inv.astype(np.int64)], axis=1)
+                uniq_pairs, pair_inv = np.unique(pairs, axis=0, return_inverse=True)
+                pool = [
+                    f"{parent_pool[int(p)]}/{digit_pool[int(d)]}" for p, d in uniq_pairs
+                ]
+                layer_codes = pair_inv.astype(np.int64)
+            pools.append(pool)
+            codes_per_layer.append(layer_codes)
+            names.append(np.asarray(pool, dtype=object)[layer_codes])
+            parent_codes = layer_codes
+            parent_pool = pool
         return LandmarkOrders(
-            scheme=self, distances=distances, level_matrices=matrices, names_per_layer=names
+            scheme=self,
+            distances=distances,
+            level_matrices=matrices,
+            names_per_layer=names,
+            codes_per_layer=codes_per_layer,
+            name_pools=pools,
         )
 
 
@@ -181,6 +202,13 @@ class LandmarkOrders:
     distances: np.ndarray
     level_matrices: list[np.ndarray]
     names_per_layer: list[np.ndarray]
+    #: Optional factorised form (set by :meth:`BinningScheme.orders`):
+    #: ``codes_per_layer[k][i]`` indexes ``name_pools[k]``, node ``i``'s
+    #: ring name at layer ``k + 2``.  Consumers that can work on int
+    #: codes (e.g. :class:`~repro.core.hieras.HierasNetwork`) use these
+    #: directly and never touch the per-node string arrays.
+    codes_per_layer: list[np.ndarray] | None = None
+    name_pools: list[list[str]] | None = None
 
     @property
     def n_nodes(self) -> int:

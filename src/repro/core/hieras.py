@@ -118,58 +118,77 @@ class HierasNetwork(DHTNetwork):
         self.successor_list_policy = successor_list_policy
         self._id_of_peer = ids.copy()
         self._alive = np.ones(n, dtype=bool)
-        # Ring names per peer per lower layer (index 0 → layer 2); kept
-        # as plain object arrays so membership changes can append.
-        self._names = [
-            np.asarray(landmark_orders.names_per_layer[k], dtype=object)
-            for k in range(depth - 1)
-        ]
+        # Ring membership per lower layer, struct-of-arrays: every peer
+        # carries one ``int32`` *pool code* per layer (index 0 →
+        # layer 2) and the per-layer pool maps codes back to ring-name
+        # strings — no per-peer Python string ever sits on the hot
+        # path, which is what keeps million-peer networks in budget.
+        self._name_pool: list[list[str]] = []
+        self._name_code_of: list[dict[str, int]] = []
+        self._name_codes: list[np.ndarray] = []
+        pools = getattr(landmark_orders, "name_pools", None)
+        codes = getattr(landmark_orders, "codes_per_layer", None)
+        for k in range(depth - 1):
+            if pools is not None and codes is not None:
+                pool = [str(s) for s in pools[k]]
+                layer_codes = np.asarray(codes[k], dtype=np.int32)
+            else:
+                uniq, inverse = np.unique(
+                    np.asarray(landmark_orders.names_per_layer[k], dtype=object),
+                    return_inverse=True,
+                )
+                pool = [str(u) for u in uniq]
+                layer_codes = inverse.astype(np.int32)
+            self._name_pool.append(pool)
+            self._name_code_of.append({name: c for c, name in enumerate(pool)})
+            self._name_codes.append(layer_codes)
+        #: Full O(N log N) all-ring rebuilds performed (the constructor's
+        #: initial build counts); membership waves splice only the rings
+        #: they touch, so this stays flat under churn.
+        self.rebuild_count = 0
+        #: Membership waves applied incrementally (no full rebuild).
+        self.incremental_waves = 0
+        #: Rings created, spliced, or retired by incremental waves — the
+        #: O(wave) work certificate the maintenance tests pin.
+        self.rings_spliced = 0
+        #: ``directory.publish`` calls skipped because a ring's
+        #: membership did not change across a full rebuild.
+        self.publish_skips = 0
         self.directory = RingTableDirectory(space, replicas=ring_table_replicas)
         self._rebuild()
 
     # ------------------------------------------------------------------
     # construction / membership
     # ------------------------------------------------------------------
-    def _rebuild(self) -> None:
-        alive = np.flatnonzero(self._alive)
-        ids = self._id_of_peer[alive]
-        order = np.argsort(ids)
-        self.global_ring = SortedRing(self.space, ids[order], alive[order])
-        n_total = len(self._id_of_peer)
-        self._pos_global = np.full(n_total, -1, dtype=np.int64)
-        self._pos_global[self.global_ring.peers] = np.arange(len(self.global_ring))
+    def _intern(self, k: int, name: str) -> int:
+        """Pool code for ``name`` at layer index ``k`` (interning it)."""
+        code = self._name_code_of[k].get(name)
+        if code is None:
+            code = len(self._name_pool[k])
+            self._name_pool[k].append(name)
+            self._name_code_of[k][name] = code
+        return code
 
-        # Lower layers: factorise live peers' ring names, build one
-        # SortedRing per distinct name, record each peer's ring + slot.
-        self._rings: list[list[SortedRing]] = []
-        self._ring_names: list[list[str]] = []
-        self._ring_of_peer = np.full((self.depth - 1, n_total), -1, dtype=np.int64)
-        self._pos_in_ring = np.full((self.depth - 1, n_total), -1, dtype=np.int64)
-        known_names = set(self.directory.names())
-        seen_names: set[str] = set()
-        for k in range(self.depth - 1):
-            live_names = np.asarray([self._names[k][p] for p in alive], dtype=object)
-            uniq, inverse = np.unique(live_names, return_inverse=True)
-            layer_rings: list[SortedRing] = []
-            layer_names: list[str] = []
-            for code, name in enumerate(uniq):
-                members = alive[inverse == code]
-                member_ids = self._id_of_peer[members]
-                srt = np.argsort(member_ids)
-                ring = SortedRing(self.space, member_ids[srt], members[srt])
-                layer_rings.append(ring)
-                layer_names.append(str(name))
-                self._ring_of_peer[k, ring.peers] = code
-                self._pos_in_ring[k, ring.peers] = np.arange(len(ring))
-                self.directory.publish(str(name), ring.ids, ring.peers)
-                seen_names.add(str(name))
-            self._rings.append(layer_rings)
-            self._ring_names.append(layer_names)
-        for stale in known_names - seen_names:
-            self.directory.drop(stale)
-        # Per-layer accessor caches: ring membership only changes here,
-        # so the name->ring maps and size vectors sweeps poll per cell
-        # are materialized once per rebuild instead of per call.
+    def _publish(
+        self, name: str, ring: SortedRing, prev: dict[str, SortedRing] | None
+    ) -> None:
+        """Publish one ring table, skipping unchanged memberships."""
+        if prev is not None:
+            old = prev.get(name)
+            if (
+                old is not None
+                and np.array_equal(old.ids, ring.ids)
+                and np.array_equal(old.peers, ring.peers)
+            ):
+                self.publish_skips += 1
+                return
+        self.directory.publish(name, ring.ids, ring.peers)
+
+    def _refresh_layer_caches(self) -> None:
+        # Per-layer accessor caches: ring membership only changes in
+        # ``_rebuild``/``_apply_wave``, so the name->ring maps and size
+        # vectors sweeps poll per cell are materialized once per
+        # membership change instead of per call.
         self._rings_by_name: list[dict[str, SortedRing]] = [
             dict(zip(names, rings))
             for names, rings in zip(self._ring_names, self._rings)
@@ -179,6 +198,181 @@ class HierasNetwork(DHTNetwork):
             sizes = np.asarray([len(r) for r in rings], dtype=np.int64)
             sizes.setflags(write=False)
             self._ring_size_arrays.append(sizes)
+
+    @property
+    def _pos_global(self) -> np.ndarray:
+        """Peer → global-ring position (−1 for dead peers), lazy."""
+        pos = self._pos_global_cache
+        if pos is None:
+            pos = np.full(len(self._id_of_peer), -1, dtype=np.int64)
+            pos[self.global_ring.peers] = np.arange(len(self.global_ring))
+            self._pos_global_cache = pos
+        return pos
+
+    def _rebuild(self) -> None:
+        self.rebuild_count += 1
+        alive = np.flatnonzero(self._alive)
+        ids = self._id_of_peer[alive]
+        order = np.argsort(ids)
+        self.global_ring = SortedRing(self.space, ids[order], alive[order])
+        n_total = len(self._id_of_peer)
+        self._pos_global_cache: np.ndarray | None = None
+
+        # Lower layers: factorise live peers' interned ring codes, build
+        # one SortedRing per distinct name (listed in ring-name order,
+        # matching the incremental path), record each peer's ring + slot.
+        prev_tables = getattr(self, "_rings_by_name", None)
+        self._rings: list[list[SortedRing]] = []
+        self._ring_names: list[list[str]] = []
+        self._ring_of_peer = np.full((self.depth - 1, n_total), -1, dtype=np.int32)
+        self._pos_in_ring = np.full((self.depth - 1, n_total), -1, dtype=np.int32)
+        known_names = set(self.directory.names())
+        seen_names: set[str] = set()
+        for k in range(self.depth - 1):
+            pool = self._name_pool[k]
+            codes_alive = self._name_codes[k][alive]
+            grouped = np.lexsort((ids, codes_alive))
+            codes_sorted = codes_alive[grouped]
+            members_sorted = alive[grouped]
+            ids_sorted = ids[grouped]
+            present = np.unique(codes_alive)
+            starts = np.searchsorted(codes_sorted, present, side="left")
+            ends = np.searchsorted(codes_sorted, present, side="right")
+            by_name = sorted(range(len(present)), key=lambda i: pool[int(present[i])])
+            layer_rings: list[SortedRing] = []
+            layer_names: list[str] = []
+            prev = prev_tables[k] if prev_tables is not None else None
+            for gi in by_name:
+                name = pool[int(present[gi])]
+                a, b = int(starts[gi]), int(ends[gi])
+                ring = SortedRing(self.space, ids_sorted[a:b], members_sorted[a:b])
+                code = len(layer_rings)
+                layer_rings.append(ring)
+                layer_names.append(name)
+                self._ring_of_peer[k, ring.peers] = code
+                self._pos_in_ring[k, ring.peers] = np.arange(len(ring), dtype=np.int32)
+                self._publish(name, ring, prev)
+                seen_names.add(name)
+            self._rings.append(layer_rings)
+            self._ring_names.append(layer_names)
+        for stale in sorted(known_names - seen_names):
+            self.directory.drop(stale)
+        self._refresh_layer_caches()
+
+    def rebuild(self) -> None:
+        """Escape hatch: re-derive every ring of every layer from scratch.
+
+        The incremental wave path (:meth:`_apply_wave`) produces state
+        bit-identical to this full rebuild — pinned by
+        ``tests/test_incremental.py`` — so calling it is never *needed*;
+        it exists for operators and for the equivalence tests.
+        """
+        self._rebuild()
+
+    def _apply_wave(self, added: np.ndarray, removed: np.ndarray) -> None:
+        """Splice one membership wave into every layer's ring state.
+
+        ``added``/``removed`` hold the peer indices whose liveness just
+        flipped (``self._alive`` is already updated).  Only the rings
+        those peers belong to are rebuilt/spliced — O(wave + touched
+        ring sizes) work instead of the full rebuild's O(N log N) sort
+        plus every ring of every layer — and the resulting state is
+        bit-identical to :meth:`_rebuild` (tests pin this), because
+        :meth:`SortedRing.splice` and the argsort rebuild agree on the
+        unique sorted layout and rings stay listed in name order.
+        """
+        self.incremental_waves += 1
+        rm_pos = (
+            np.searchsorted(self.global_ring.ids, self._id_of_peer[removed])
+            if len(removed)
+            else np.empty(0, dtype=np.int64)
+        )
+        self.global_ring = self.global_ring.splice(
+            rm_pos, self._id_of_peer[added], added
+        )
+        self._pos_global_cache = None
+
+        for k in range(self.depth - 1):
+            pool = self._name_pool[k]
+            names_k = self._ring_names[k]
+            rings_k = self._rings[k]
+            index_of = {nm: i for i, nm in enumerate(names_k)}
+            layer_codes = self._name_codes[k]
+            rm_by_name: dict[str, list[int]] = {}
+            for p in removed.tolist():
+                rm_by_name.setdefault(pool[int(layer_codes[p])], []).append(p)
+            add_by_name: dict[str, list[int]] = {}
+            for p in added.tolist():
+                add_by_name.setdefault(pool[int(layer_codes[p])], []).append(p)
+
+            touched: dict[str, SortedRing | None] = {}
+            for name in sorted(set(rm_by_name) | set(add_by_name)):
+                leavers = rm_by_name.get(name, [])
+                joiners = add_by_name.get(name, [])
+                old_idx = index_of.get(name)
+                old_ring = rings_k[old_idx] if old_idx is not None else None
+                self.rings_spliced += 1
+                if old_ring is None:
+                    members = np.asarray(joiners, dtype=np.int64)
+                    m_ids = self._id_of_peer[members]
+                    srt = np.argsort(m_ids)
+                    new_ring: SortedRing | None = SortedRing(
+                        self.space, m_ids[srt], members[srt]
+                    )
+                elif len(leavers) == len(old_ring) and not joiners:
+                    new_ring = None  # its last members left: the ring dies
+                else:
+                    lv = np.asarray(leavers, dtype=np.int64)
+                    jn = np.asarray(joiners, dtype=np.int64)
+                    new_ring = old_ring.splice(
+                        self._pos_in_ring[k, lv], self._id_of_peer[jn], jn
+                    )
+                touched[name] = new_ring
+                if new_ring is None:
+                    self.directory.drop(name)
+                else:
+                    self.directory.publish(name, new_ring.ids, new_ring.peers)
+            if len(removed):
+                self._ring_of_peer[k, removed] = -1
+                self._pos_in_ring[k, removed] = -1
+
+            births = [
+                nm for nm, r in touched.items() if r is not None and nm not in index_of
+            ]
+            deaths = {nm for nm, r in touched.items() if r is None}
+            if births or deaths:
+                # The ring *set* changed: renumber so rings stay listed
+                # in name order (one vectorized old→new code remap).
+                new_names = sorted((set(names_k) - deaths) | set(births))
+                remap = np.full(len(names_k), -1, dtype=np.int32)
+                new_rings: list[SortedRing] = []
+                for new_idx, nm in enumerate(new_names):
+                    old_idx = index_of.get(nm)
+                    if old_idx is not None:
+                        remap[old_idx] = np.int32(new_idx)
+                        ring = touched.get(nm, rings_k[old_idx])
+                    else:
+                        ring = touched[nm]
+                    assert ring is not None
+                    new_rings.append(ring)
+                col = self._ring_of_peer[k]
+                live = col >= 0
+                col[live] = remap[col[live]]
+                self._ring_names[k] = new_names
+                self._rings[k] = new_rings
+            else:
+                self._rings[k] = [
+                    touched.get(nm, ring) for nm, ring in zip(names_k, rings_k)
+                ]
+            # Re-index members of every touched, surviving ring.
+            idx_by_name = {nm: i for i, nm in enumerate(self._ring_names[k])}
+            for nm, ring in touched.items():
+                if ring is None:
+                    continue
+                i = idx_by_name[nm]
+                self._ring_of_peer[k, ring.peers] = i
+                self._pos_in_ring[k, ring.peers] = np.arange(len(ring), dtype=np.int32)
+        self._refresh_layer_caches()
 
     @property
     def n_peers(self) -> int:
@@ -209,41 +403,50 @@ class HierasNetwork(DHTNetwork):
 
         ``ring_names_per_peer[i]`` names peer ``i``'s rings (layer 2
         first), exactly as :meth:`add_peer` takes them.  Validation and
-        the returned indices match the sequential calls, but every ring
-        of every layer is rebuilt once; a rejected entry leaves the
-        overlay untouched.
+        the returned indices match the sequential calls, but the wave is
+        spliced into the affected rings in one pass (no full rebuild); a
+        rejected entry leaves the overlay untouched.
         """
         require(
             len(ring_names_per_peer) == len(node_ids),
             "need one ring-name list per added peer",
         )
         validated: list[int] = []
+        seen: set[int] = set()
         for node_id, ring_names in zip(node_ids, ring_names_per_peer):
             node_id = self.space.validate_id(node_id, name="node_id")
             require(
-                node_id not in self.global_ring and node_id not in validated,
+                node_id not in self.global_ring and node_id not in seen,
                 f"id {node_id} already present",
             )
             require(
                 len(ring_names) == self.depth - 1,
                 f"need {self.depth - 1} ring names, got {len(ring_names)}",
             )
+            seen.add(node_id)
             validated.append(node_id)
         if not validated:
             return []
         start = len(self._id_of_peer)
+        count = len(validated)
         self._id_of_peer = np.concatenate(
             [self._id_of_peer, np.asarray(validated, dtype=np.uint64)]
         )
-        self._alive = np.concatenate(
-            [self._alive, np.ones(len(validated), dtype=bool)]
-        )
+        self._alive = np.concatenate([self._alive, np.ones(count, dtype=bool)])
         for k in range(self.depth - 1):
-            self._names[k] = np.append(
-                self._names[k], [names[k] for names in ring_names_per_peer]
+            codes = np.asarray(
+                [self._intern(k, names[k]) for names in ring_names_per_peer],
+                dtype=np.int32,
             )
-        self._rebuild()
-        return list(range(start, start + len(validated)))
+            self._name_codes[k] = np.concatenate([self._name_codes[k], codes])
+        pad = np.full((self.depth - 1, count), -1, dtype=np.int32)
+        self._ring_of_peer = np.concatenate([self._ring_of_peer, pad], axis=1)
+        self._pos_in_ring = np.concatenate([self._pos_in_ring, pad.copy()], axis=1)
+        self._apply_wave(
+            np.arange(start, start + count, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        return list(range(start, start + count))
 
     def remove_peer(self, peer: int) -> None:
         """Remove ``peer`` (graceful leave or failure)."""
@@ -253,9 +456,10 @@ class HierasNetwork(DHTNetwork):
         """Remove several peers in one membership change.
 
         A sequence of :meth:`remove_peer` calls (same checks, same
-        error messages, in order) with a single rebuild of every layer's
-        rings; validation runs against a scratch copy, so a rejected
-        batch leaves the overlay untouched.
+        error messages, in order) with one splice per touched ring —
+        rings the wave does not touch are untouched objects; validation
+        runs against a scratch copy, so a rejected batch leaves the
+        overlay untouched.
 
         ``graceful=True`` models the §3.3 *announced* leave: after the
         rings are rebuilt (ring successors re-assigned) but before the
@@ -274,7 +478,9 @@ class HierasNetwork(DHTNetwork):
         if not peers:
             return
         self._alive = alive
-        self._rebuild()
+        self._apply_wave(
+            np.empty(0, dtype=np.int64), np.asarray(peers, dtype=np.int64)
+        )
         if graceful:
             self._notify_departing(peers)
         self._notify_removed(peers)
@@ -289,7 +495,7 @@ class HierasNetwork(DHTNetwork):
         self.revive_peers([peer])
 
     def revive_peers(self, peers: list[int]) -> None:
-        """Revive several previously-removed peers with one rebuild."""
+        """Revive several previously-removed peers in one spliced wave."""
         alive = self._alive.copy()
         for peer in peers:
             require(not bool(alive[peer]), f"peer {peer} is already alive")
@@ -297,7 +503,9 @@ class HierasNetwork(DHTNetwork):
         if not peers:
             return
         self._alive = alive
-        self._rebuild()
+        self._apply_wave(
+            np.asarray(peers, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
         self._notify_revived(peers)
 
     def rebind_peers(
@@ -325,7 +533,7 @@ class HierasNetwork(DHTNetwork):
             )
         for peer, ring_names in zip(peers, ring_names_per_peer):
             for k in range(self.depth - 1):
-                self._names[k][peer] = ring_names[k]
+                self._name_codes[k][peer] = self._intern(k, ring_names[k])
 
     # ------------------------------------------------------------------
     # ring accessors
@@ -342,7 +550,8 @@ class HierasNetwork(DHTNetwork):
     def ring_name_of(self, peer: int, layer: int) -> str:
         """Ring name of ``peer`` at a lower ``layer`` (2..depth)."""
         require(2 <= layer <= self.depth, f"layer must be in [2, {self.depth}]")
-        return str(self._names[layer - 2][peer])
+        k = layer - 2
+        return self._name_pool[k][int(self._name_codes[k][peer])]
 
     def rings_at_layer(self, layer: int) -> dict[str, SortedRing]:
         """All rings of one lower layer, keyed by ring name.

@@ -40,9 +40,13 @@ class ChordNetwork(DHTNetwork):
     -----
     Peer indices are stable handles: :meth:`remove_peer` keeps indices
     of remaining peers unchanged, and :meth:`add_peer` appends a new
-    index.  The ring view is rebuilt on membership change (O(n log n)),
-    which is the right trade-off for the trace-driven stack where
-    memberships change rarely but routing runs millions of times.
+    index.  Membership changes **splice** the sorted ring view in place
+    (:meth:`~repro.dht.ring_array.SortedRing.splice` — O(n + k log n)
+    per wave of ``k`` edits) instead of re-sorting everything; the
+    result is bit-identical to the full O(n log n) rebuild, which stays
+    available as the :meth:`rebuild` escape hatch and is pinned by the
+    incremental-equivalence tests.  :attr:`rebuild_count` and
+    :attr:`incremental_waves` expose which path ran.
     """
 
     def __init__(
@@ -66,18 +70,49 @@ class ChordNetwork(DHTNetwork):
         self.successor_list_r = successor_list_r
         self._id_of_peer = ids.copy()
         self._alive = np.ones(len(ids), dtype=bool)
+        #: Full O(n log n) rebuilds performed (the constructor's initial
+        #: build counts); membership waves splice instead, so this stays
+        #: flat under churn — pinned by the maintenance tests.
+        self.rebuild_count = 0
+        #: Membership waves applied incrementally (no full rebuild).
+        self.incremental_waves = 0
         self._rebuild()
 
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
     def _rebuild(self) -> None:
+        self.rebuild_count += 1
         alive_peers = np.flatnonzero(self._alive)
         alive_ids = self._id_of_peer[alive_peers]
         order = np.argsort(alive_ids)
         self.ring = SortedRing(self.space, alive_ids[order], alive_peers[order])
-        self._pos_of_peer = np.full(len(self._id_of_peer), -1, dtype=np.int64)
-        self._pos_of_peer[self.ring.peers] = np.arange(len(self.ring))
+        self._pos_cache: np.ndarray | None = None
+
+    def rebuild(self) -> None:
+        """Escape hatch: rebuild the ring view from scratch.
+
+        Produces bit-identical state to the incremental splice path
+        (asserted by ``tests/test_incremental.py``); exists so
+        operators — and the equivalence tests — can force a full
+        re-derivation at any time.
+        """
+        self._rebuild()
+
+    @property
+    def _pos_of_peer(self) -> np.ndarray:
+        """Peer → ring-position map (−1 for dead peers), lazily patched.
+
+        Membership waves invalidate rather than recompute it, so a
+        burst of waves with no routing in between pays one scatter pass
+        total instead of one per wave.
+        """
+        pos = self._pos_cache
+        if pos is None:
+            pos = np.full(len(self._id_of_peer), -1, dtype=np.int64)
+            pos[self.ring.peers] = np.arange(len(self.ring))
+            self._pos_cache = pos
+        return pos
 
     @property
     def n_peers(self) -> int:
@@ -104,29 +139,38 @@ class ChordNetwork(DHTNetwork):
     def add_peers(self, node_ids: list[int]) -> list[int]:
         """Add several peers in one membership change; returns indices.
 
-        Validation (and the resulting indices) match calling
-        :meth:`add_peer` in sequence, but the ring view is rebuilt once
-        — the mutation is all-or-nothing, so a rejected id leaves the
-        overlay untouched.
+        Validation (same checks, same messages) and the resulting
+        indices match calling :meth:`add_peer` in sequence, but the new
+        members are spliced into the ring view in one O(n + k log n)
+        pass — the mutation is all-or-nothing, so a rejected id leaves
+        the overlay untouched.  Ring membership of the whole batch is
+        checked with one vectorized ``searchsorted`` and in-batch
+        duplicates with a set, so validating a wave of ``k`` joins is
+        O(k log n), not the O(k²) of per-id list scans.
         """
         validated: list[int] = []
+        seen: set[int] = set()
         for node_id in node_ids:
             node_id = self.space.validate_id(node_id, name="node_id")
-            require(
-                node_id not in self.ring and node_id not in validated,
-                f"id {node_id} already present",
-            )
+            require(node_id not in seen, f"id {node_id} already present")
+            seen.add(node_id)
             validated.append(node_id)
         if not validated:
             return []
+        new_ids = np.asarray(validated, dtype=np.uint64)
+        at = np.minimum(np.searchsorted(self.ring.ids, new_ids), len(self.ring) - 1)
+        present = np.flatnonzero(self.ring.ids[at] == new_ids)
+        if present.size:
+            raise ValueError(f"id {validated[int(present[0])]} already present")
         start = len(self._id_of_peer)
-        self._id_of_peer = np.concatenate(
-            [self._id_of_peer, np.asarray(validated, dtype=np.uint64)]
-        )
+        self._id_of_peer = np.concatenate([self._id_of_peer, new_ids])
         self._alive = np.concatenate(
             [self._alive, np.ones(len(validated), dtype=bool)]
         )
-        self._rebuild()
+        new_peers = np.arange(start, start + len(validated), dtype=np.int64)
+        self.ring = self.ring.splice((), new_ids, new_peers)
+        self._pos_cache = None
+        self.incremental_waves += 1
         return list(range(start, start + len(validated)))
 
     def remove_peer(self, peer: int) -> None:
@@ -138,7 +182,7 @@ class ChordNetwork(DHTNetwork):
 
         Semantically a sequence of :meth:`remove_peer` calls (same
         checks, same error messages, in order) with a single ring
-        rebuild at the end; validation runs against a scratch copy, so
+        splice at the end; validation runs against a scratch copy, so
         a rejected batch leaves the overlay untouched.
 
         ``graceful=True`` models an *announced* departure: after the
@@ -158,7 +202,11 @@ class ChordNetwork(DHTNetwork):
         if not peers:
             return
         self._alive = alive
-        self._rebuild()
+        victims = np.asarray(peers, dtype=np.int64)
+        rm_pos = np.searchsorted(self.ring.ids, self._id_of_peer[victims])
+        self.ring = self.ring.splice(rm_pos, (), ())
+        self._pos_cache = None
+        self.incremental_waves += 1
         if graceful:
             self._notify_departing(peers)
         self._notify_removed(peers)
@@ -174,7 +222,7 @@ class ChordNetwork(DHTNetwork):
         self.revive_peers([peer])
 
     def revive_peers(self, peers: list[int]) -> None:
-        """Revive several previously-removed peers with one rebuild."""
+        """Revive several previously-removed peers with one splice."""
         alive = self._alive.copy()
         for peer in peers:
             require(not bool(alive[peer]), f"peer {peer} is already alive")
@@ -182,7 +230,10 @@ class ChordNetwork(DHTNetwork):
         if not peers:
             return
         self._alive = alive
-        self._rebuild()
+        back = np.asarray(peers, dtype=np.int64)
+        self.ring = self.ring.splice((), self._id_of_peer[back], back)
+        self._pos_cache = None
+        self.incremental_waves += 1
         self._notify_revived(peers)
 
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ table on demand for inspection and for the Table 2 reproduction.)
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,7 +58,7 @@ class SortedRing:
         ``ids[i]``).
     """
 
-    __slots__ = ("space", "ids", "peers", "_idlist", "_size", "_n")
+    __slots__ = ("space", "ids", "peers", "_idlist_cache", "_size", "_n")
 
     def __init__(self, space: IdSpace, ids: np.ndarray, peers: np.ndarray) -> None:
         ids = np.asarray(ids, dtype=np.uint64)
@@ -71,28 +71,47 @@ class SortedRing:
         self.space = space
         self.ids = ids
         self.peers = peers
-        self._idlist: list[int] = [int(v) for v in ids]  # fast scalar bisect
+        self._idlist_cache: list[int] | None = None
         self._size = space.size
         self._n = len(ids)
+
+    @property
+    def _idlist(self) -> list[int]:
+        """Python-int id list for the scalar bisect paths (lazy).
+
+        Million-member rings never materialise this unless a scalar
+        route (or the lossy fault router) actually runs on them; the
+        vectorized kernels and all membership queries work straight off
+        the ``uint64`` :attr:`ids` array.
+        """
+        cached = self._idlist_cache
+        if cached is None:
+            cached = self.ids.tolist()
+            self._idlist_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return self._n
 
     def __contains__(self, node_id: int) -> bool:
-        i = bisect_left(self._idlist, int(node_id))
-        return i < self._n and self._idlist[i] == int(node_id)
+        key = int(node_id)
+        if key < 0 or key >= self._size:
+            return False
+        i = int(np.searchsorted(self.ids, np.uint64(key)))
+        return i < self._n and int(self.ids[i]) == key
 
     def pos_of_id(self, node_id: int) -> int:
         """Position of an exact member id (raises if absent)."""
-        i = bisect_left(self._idlist, int(node_id))
-        if i == self._n or self._idlist[i] != int(node_id):
+        key = int(node_id)
+        i = int(np.searchsorted(self.ids, np.uint64(key))) if 0 <= key < self._size else self._n
+        if i == self._n or int(self.ids[i]) != key:
             raise KeyError(f"id {node_id} is not a ring member")
         return i
 
     def successor_pos(self, key: int) -> int:
         """Position of the ring member owning ``key`` (successor of key)."""
-        i = bisect_left(self._idlist, int(key) % self._size)
+        i = int(np.searchsorted(self.ids, np.uint64(int(key) % self._size)))
         return 0 if i == self._n else i
 
     def successor_of_pos(self, pos: int) -> int:
@@ -257,10 +276,48 @@ class SortedRing:
         """Positions of members with ids in the clockwise arc ``(lo, hi]``."""
         size = self._size
         lo, hi = int(lo) % size, int(hi) % size
+        a = int(np.searchsorted(self.ids, np.uint64(lo), side="right"))
+        b = int(np.searchsorted(self.ids, np.uint64(hi), side="right"))
         if lo < hi:
-            a = bisect_right(self._idlist, lo)
-            b = bisect_right(self._idlist, hi)
             return np.arange(a, b)
-        a = bisect_right(self._idlist, lo)
-        b = bisect_right(self._idlist, hi)
         return np.concatenate([np.arange(a, self._n), np.arange(0, b)])
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def splice(
+        self,
+        remove_positions: np.ndarray | list[int] | tuple[int, ...],
+        insert_ids: np.ndarray | list[int] | tuple[int, ...],
+        insert_peers: np.ndarray | list[int] | tuple[int, ...],
+    ) -> "SortedRing":
+        """A new ring with some members removed and others inserted.
+
+        ``remove_positions`` are current positions (need not be sorted,
+        must be distinct); ``insert_ids``/``insert_peers`` are the new
+        members (ids in any order, distinct, and absent from the
+        surviving membership).  The result is **bit-identical** to
+        rebuilding a :class:`SortedRing` from the edited member set with
+        an argsort — sorted-unique ids admit exactly one layout — which
+        is the contract the incremental membership paths in
+        :class:`~repro.dht.chord.ChordNetwork` and
+        :class:`~repro.core.hieras.HierasNetwork` rely on.  Cost is
+        O(n + k log n) for a size-``n`` ring and ``k`` edits, replacing
+        the O(n log n) sort of a full rebuild.
+        """
+        ids = self.ids
+        peers = self.peers
+        remove_positions = np.asarray(remove_positions, dtype=np.int64)
+        if len(remove_positions):
+            ids = np.delete(ids, remove_positions)
+            peers = np.delete(peers, remove_positions)
+        ins_ids = np.asarray(insert_ids, dtype=np.uint64)
+        if len(ins_ids):
+            ins_peers = np.asarray(insert_peers, dtype=np.int64)
+            order = np.argsort(ins_ids)
+            ins_ids = ins_ids[order]
+            ins_peers = ins_peers[order]
+            at = np.searchsorted(ids, ins_ids)
+            ids = np.insert(ids, at, ins_ids)
+            peers = np.insert(peers, at, ins_peers)
+        return SortedRing(self.space, ids, peers)

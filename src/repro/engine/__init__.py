@@ -27,9 +27,11 @@ from repro.engine.batch import (
 )
 from repro.engine.kernel import closest_preceding_fingers, route_cohort
 from repro.engine.result import BatchRouteResult
+from repro.engine.stream import StreamStats, stream_batch_route
 
 __all__ = [
     "BatchRouteResult",
+    "StreamStats",
     "batch_route",
     "batch_route_chord",
     "batch_route_hieras",
@@ -37,5 +39,6 @@ __all__ = [
     "replay_spans",
     "route_cohort",
     "scalar_batch_route",
+    "stream_batch_route",
     "supports_batch",
 ]

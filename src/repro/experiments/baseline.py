@@ -30,6 +30,7 @@ from repro.experiments.runner import build_bundle, make_trace
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.sinks import SummarySink
 from repro.metrics.spans import SpanRecorder
+from repro.util.proc import peak_rss_mb
 
 __all__ = ["run_perf_baseline", "write_baseline", "SCHEMA"]
 
@@ -170,6 +171,7 @@ def run_perf_baseline(
     with timed("protocol_smoke"):
         protocol_metrics = _protocol_smoke(seed)
 
+    phases["peak_rss"] = {"peak_rss_mb": peak_rss_mb()}
     return {
         "schema": SCHEMA,
         "config": {

@@ -30,6 +30,7 @@ import numpy as np
 from repro.analysis.stats import RouteSample, collect_routes
 from repro.experiments.config import SimConfig
 from repro.experiments.runner import build_bundle, make_trace
+from repro.util.proc import peak_rss_mb
 
 __all__ = ["SCHEMA", "run_bench_batchroute", "write_bench_batchroute"]
 
@@ -111,6 +112,7 @@ def run_bench_batchroute(
                 "mean_top_layer_hops": batch.mean_top_layer_hops,
             }
 
+    phases["peak_rss"] = {"peak_rss_mb": peak_rss_mb()}
     return {
         "schema": SCHEMA,
         "config": {

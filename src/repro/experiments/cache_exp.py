@@ -39,6 +39,7 @@ from repro.experiments.runner import SimulationBundle, build_bundle
 from repro.faults import FaultInjector, FaultPlan
 from repro.util.rng import RngFactory
 from repro.workloads.requests import RequestTrace, generate_requests
+from repro.util.proc import peak_rss_mb
 
 __all__ = [
     "SCHEMA",
@@ -351,6 +352,7 @@ def run_bench_cache(
                 )
             )
 
+    phases["peak_rss"] = {"peak_rss_mb": peak_rss_mb()}
     return {
         "schema": SCHEMA,
         "config": {

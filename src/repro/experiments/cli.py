@@ -43,6 +43,13 @@ Subcommands
     and write ``BENCH_serve.json``: offered load vs achieved throughput
     vs p99 on both stacks, the flash-crowd admission-control pair, the
     coalescing pair at the knee, and the churn cell.
+``scale-bench``
+    Run the million-peer scale benchmark (``repro.experiments.scale_exp``)
+    and write ``BENCH_scale.json``: build time, membership-wave time,
+    streamed lookups/sec and peak RSS per network size on both stacks,
+    plus the deterministic contracts — zero full rebuilds during waves,
+    incremental state bit-identical to a rebuild, and cross-stack
+    owner-checksum agreement; exit 1 if any contract bit is false.
 
 ``run`` additionally drops one ``metrics_<id>.json`` artifact per
 experiment (structured result data; directory overridable via
@@ -206,7 +213,8 @@ def _cmd_perf_baseline(args: argparse.Namespace) -> int:
     doc = run_perf_baseline(full=full, seed=args.seed)
     path = write_baseline(doc, args.out)
     for name, phase in doc["phases"].items():
-        print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
+        if "wall_ms" in phase:
+            print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
     for net in ("chord", "hieras"):
         m = doc["metrics"][net]
         print(
@@ -243,7 +251,8 @@ def _cmd_cache_bench(args: argparse.Namespace) -> int:
     doc = run_bench_cache(full=full, seed=args.seed)
     path = write_bench_cache(doc, args.out)
     for name, phase in doc["phases"].items():
-        print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
+        if "wall_ms" in phase:
+            print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
     for stack, h in doc["metrics"]["headline"].items():
         print(
             f"  {stack:<8} latency -{h['latency_reduction_percent']:.1f}%  "
@@ -263,7 +272,8 @@ def _cmd_durability_bench(args: argparse.Namespace) -> int:
     doc = run_bench_durability(full=full, seed=args.seed)
     path = write_bench_durability(doc, args.out)
     for name, phase in doc["phases"].items():
-        print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
+        if "wall_ms" in phase:
+            print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
     headline = doc["metrics"]["headline"]
     for stack, pair in headline["handoff_loss"].items():
         divergence = headline["chain_vs_quorum"][stack]
@@ -293,7 +303,8 @@ def _cmd_scenario_bench(args: argparse.Namespace) -> int:
     doc = run_bench_scenarios(full=full, seed=args.seed)
     path = write_bench_scenarios(doc, args.out)
     for name, phase in doc["phases"].items():
-        print(f"  {name:<24} {phase['wall_ms']:10.1f} ms")
+        if "wall_ms" in phase:
+            print(f"  {name:<24} {phase['wall_ms']:10.1f} ms")
     for name, cells in doc["metrics"]["scenarios"].items():
         for stack, cell in cells.items():
             print(
@@ -321,7 +332,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     doc = run_bench_serve(full=full, seed=args.seed)
     path = write_bench_serve(doc, args.out)
     for name, phase in doc["phases"].items():
-        print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
+        if "wall_ms" in phase:
+            print(f"  {name:<16} {phase['wall_ms']:10.1f} ms")
     headline = doc["metrics"]["headline"]
     for stack, shift in headline["knee_shift"].items():
         admission = headline["admission"][stack]
@@ -336,6 +348,36 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         )
     print(f"wrote {path}")
     return 0
+
+
+def _cmd_scale_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.scale_exp import run_bench_scale, write_bench_scale
+
+    full = is_full_scale(True if args.full else None)
+    doc = run_bench_scale(full=full, seed=args.seed)
+    path = write_bench_scale(doc, args.out)
+    ok = True
+    for name, cell in doc["metrics"]["cells"].items():
+        n = cell["n_peers"]
+        mem = cell["membership"]
+        contracts = (
+            mem["full_rebuilds_during_waves_chord"] == 0
+            and mem["full_rebuilds_during_waves_hieras"] == 0
+            and mem["incremental_matches_rebuild"]
+            and cell["stacks_agree_owners"]
+            and cell["engines_agree"] is not False
+        )
+        ok = ok and contracts
+        build = doc["phases"][f"build_n{n}"]
+        print(
+            f"  {name:<10} build {build['wall_ms'] / 1000.0:7.2f} s  "
+            f"chord {doc['phases'][f'chord_lookup_n{n}']['lookups_per_s']:>9.0f}/s  "
+            f"hieras {doc['phases'][f'hieras_lookup_n{n}']['lookups_per_s']:>9.0f}/s  "
+            f"rss {doc['phases'][f'hieras_lookup_n{n}']['peak_rss_mb']:>7.0f} MB  "
+            f"contracts {'ok' if contracts else 'VIOLATED'}"
+        )
+    print(f"wrote {path}")
+    return 0 if ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -437,6 +479,20 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--full", action="store_true", help="paper-scale parameters")
     serve.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
     serve.set_defaults(func=_cmd_serve_bench)
+    scale = sub.add_parser(
+        "scale-bench",
+        help="run the million-peer scale benchmark, write BENCH_scale.json",
+    )
+    scale.add_argument(
+        "--out", default="BENCH_scale.json",
+        help="output path (default BENCH_scale.json)",
+    )
+    scale.add_argument(
+        "--full", action="store_true",
+        help="paper-scale parameters (N up to 1,000,000 peers, 10^7 lookups)",
+    )
+    scale.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
+    scale.set_defaults(func=_cmd_scale_bench)
     args = parser.parse_args(argv)
     return int(args.func(args))
 

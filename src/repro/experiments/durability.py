@@ -43,6 +43,7 @@ from repro.experiments.runner import SimulationBundle, build_bundle
 from repro.faults import FaultInjector, FaultPlan
 from repro.replication import ReplicatedStore, ReplicationPolicy
 from repro.util.rng import RngFactory
+from repro.util.proc import peak_rss_mb
 
 __all__ = [
     "SCHEMA",
@@ -325,6 +326,7 @@ def run_bench_durability(
         },
     }
 
+    phases["peak_rss"] = {"peak_rss_mb": peak_rss_mb()}
     return {
         "schema": SCHEMA,
         "config": {

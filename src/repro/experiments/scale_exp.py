@@ -1,0 +1,250 @@
+"""Million-peer scale benchmark: build, churn, and route at N up to 10⁶.
+
+One run, per network size, on both stacks:
+
+1. **build** — :func:`repro.scale.build_scale_bundle` (streaming
+   latency models, bounded-block transit-stub sizing) timed end-to-end;
+2. **membership waves** — remove then revive a seeded wave of peers
+   through the incremental splice path, verifying with the stacks' own
+   counters that *zero* full rebuilds happened, then force a full
+   :meth:`rebuild` and check the spliced state is **bit-identical** to
+   the from-scratch state (the incremental contract's acceptance pin);
+3. **lookups** — a seeded trace streamed through
+   :func:`repro.engine.stream.stream_batch_route` in bounded chunks;
+   integer hop statistics and the order-weighted owner checksum land in
+   ``metrics`` (chunk-size invariant), and the two stacks' checksums
+   must agree — Chord and HIERAS resolve every key to the same global
+   owner.
+
+Document layout follows the repo's ``BENCH_*`` convention: wall-clock
+and peak-RSS numbers in the nondeterministic ``phases`` section,
+seed-deterministic aggregates in the byte-compared ``metrics`` section.
+CLI front-end: ``python -m repro.experiments scale-bench``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.batch import batch_route
+from repro.engine.stream import stream_batch_route
+from repro.experiments.config import SimConfig
+from repro.experiments.runner import SimulationBundle, make_trace
+from repro.scale import build_scale_bundle, hot_state_bytes
+from repro.util.proc import peak_rss_mb
+from repro.util.rng import RngFactory
+
+__all__ = ["SCHEMA", "run_bench_scale", "write_bench_scale"]
+
+SCHEMA = "repro.bench_scale/1"
+
+#: Streaming chunk size every cell routes with; pinned because the
+#: float latency sum is association-sensitive (integer stats and the
+#: owner checksum are chunk-size invariant regardless).
+CHUNK_SIZE = 65_536
+
+FULL_SIZES = (4096, 65_536, 1_000_000)
+SMOKE_SIZES = (2048, 8192)
+
+
+def _lookups_for(n_peers: int, *, full: bool) -> int:
+    if not full:
+        return 100_000
+    return 10_000_000 if n_peers >= 1_000_000 else 1_000_000
+
+
+def _snapshot(bundle: SimulationBundle) -> dict[str, object]:
+    """References to every ring array of both stacks (rings are
+    immutable, so holding the arrays *is* the pre-rebuild snapshot)."""
+    hieras = bundle.hieras
+    return {
+        "chord": (bundle.chord.ring.ids, bundle.chord.ring.peers),
+        "global": (hieras.global_ring.ids, hieras.global_ring.peers),
+        "names": [list(names) for names in hieras._ring_names],
+        "rings": [
+            [(ring.ids, ring.peers) for ring in layer] for layer in hieras._rings
+        ],
+    }
+
+
+def _matches(bundle: SimulationBundle, snap: dict[str, object]) -> bool:
+    """Whether the current (rebuilt) state equals the snapshot exactly."""
+    hieras = bundle.hieras
+    chord_ids, chord_peers = snap["chord"]  # type: ignore[misc]
+    if not (
+        np.array_equal(chord_ids, bundle.chord.ring.ids)
+        and np.array_equal(chord_peers, bundle.chord.ring.peers)
+    ):
+        return False
+    glob_ids, glob_peers = snap["global"]  # type: ignore[misc]
+    if not (
+        np.array_equal(glob_ids, hieras.global_ring.ids)
+        and np.array_equal(glob_peers, hieras.global_ring.peers)
+    ):
+        return False
+    if snap["names"] != [list(names) for names in hieras._ring_names]:
+        return False
+    for layer_snap, layer in zip(snap["rings"], hieras._rings):  # type: ignore[arg-type]
+        for (ids, peers), ring in zip(layer_snap, layer):
+            if not (
+                np.array_equal(ids, ring.ids) and np.array_equal(peers, ring.peers)
+            ):
+                return False
+    return True
+
+
+def run_bench_scale(
+    *,
+    full: bool = False,
+    seed: int = 42,
+    sizes: tuple[int, ...] | None = None,
+) -> dict[str, object]:
+    """Run the scale benchmark; returns the ``BENCH_scale`` document.
+
+    ``full=True`` runs the ROADMAP deliverable — N up to 1 000 000
+    peers with 10⁷ streamed lookups per stack at the top size; the
+    default is a CI-sized smoke (N ≤ 8192, 10⁵ lookups) exercising the
+    identical code paths.
+    """
+    if sizes is None:
+        sizes = FULL_SIZES if full else SMOKE_SIZES
+
+    phases: dict[str, dict[str, float]] = {}
+    cells: dict[str, dict[str, object]] = {}
+
+    for n_peers in sizes:
+        wave_size = max(8, min(1024, n_peers // 16))
+        n_lookups = _lookups_for(n_peers, full=full)
+
+        t0 = time.perf_counter()  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+        bundle = build_scale_bundle(SimConfig(model="ts", n_peers=n_peers, seed=seed))
+        phases[f"build_n{n_peers}"] = {
+            "wall_ms": (time.perf_counter() - t0) * 1000.0,  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+            "peak_rss_mb": peak_rss_mb(),
+        }
+
+        # --- membership waves through the incremental splice path ----
+        wave_rng = RngFactory(seed).get("scale-wave")
+        wave = np.sort(wave_rng.choice(n_peers, size=wave_size, replace=False))
+        builds_before = (bundle.chord.rebuild_count, bundle.hieras.rebuild_count)
+        t0 = time.perf_counter()  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+        bundle.chord.remove_peers(wave.tolist())
+        bundle.hieras.remove_peers(wave.tolist())
+        t1 = time.perf_counter()  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+        bundle.chord.revive_peers(wave.tolist())
+        bundle.hieras.revive_peers(wave.tolist())
+        t2 = time.perf_counter()  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+        phases[f"wave_n{n_peers}"] = {
+            "remove_wall_ms": (t1 - t0) * 1000.0,
+            "revive_wall_ms": (t2 - t1) * 1000.0,
+        }
+        full_rebuilds_during_waves = (
+            bundle.chord.rebuild_count - builds_before[0],
+            bundle.hieras.rebuild_count - builds_before[1],
+        )
+
+        # --- bit-identical-to-rebuild check (and rebuild reference) --
+        snap = _snapshot(bundle)
+        t0 = time.perf_counter()  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+        bundle.chord.rebuild()
+        bundle.hieras.rebuild()
+        phases[f"rebuild_n{n_peers}"] = {
+            "wall_ms": (time.perf_counter() - t0) * 1000.0  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+        }
+        incremental_matches = _matches(bundle, snap)
+
+        # --- streamed lookups ----------------------------------------
+        trace = make_trace(bundle, n_lookups)
+        stacks = {}
+        for stack, network in (("chord", bundle.chord), ("hieras", bundle.hieras)):
+            t0 = time.perf_counter()  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+            stats = stream_batch_route(
+                network, trace.sources, trace.keys, chunk_size=CHUNK_SIZE
+            )
+            wall_ms = (time.perf_counter() - t0) * 1000.0  # lint: allow-wallclock -- phase timing; lands in the nondeterministic "phases" key
+            phases[f"{stack}_lookup_n{n_peers}"] = {
+                "wall_ms": wall_ms,
+                "lookups_per_s": n_lookups / (wall_ms / 1000.0) if wall_ms else 0.0,
+                "peak_rss_mb": peak_rss_mb(),
+            }
+            stacks[stack] = stats.as_dict()
+
+        # --- batch-vs-scalar spot check at the smallest size ---------
+        engines_agree = None
+        if n_peers == min(sizes):
+            probe = min(2000, n_lookups)
+            batch = batch_route(
+                bundle.chord, trace.sources[:probe], trace.keys[:probe]
+            )
+            scalar = batch_route(
+                bundle.chord,
+                trace.sources[:probe],
+                trace.keys[:probe],
+                engine="scalar",
+            )
+            batch_h = batch_route(
+                bundle.hieras, trace.sources[:probe], trace.keys[:probe]
+            )
+            scalar_h = batch_route(
+                bundle.hieras,
+                trace.sources[:probe],
+                trace.keys[:probe],
+                engine="scalar",
+            )
+            engines_agree = bool(
+                np.array_equal(batch.owner, scalar.owner)
+                and np.array_equal(batch.hops, scalar.hops)
+                and np.array_equal(batch.latency_ms, scalar.latency_ms)
+                and np.array_equal(batch_h.owner, scalar_h.owner)
+                and np.array_equal(batch_h.hops, scalar_h.hops)
+                and np.array_equal(batch_h.latency_ms, scalar_h.latency_ms)
+            )
+
+        cells[f"n{n_peers}"] = {
+            "n_peers": n_peers,
+            "lookups": n_lookups,
+            "chunk_size": CHUNK_SIZE,
+            "wave_size": wave_size,
+            "chord": stacks["chord"],
+            "hieras": stacks["hieras"],
+            "stacks_agree_owners": bool(
+                stacks["chord"]["owner_checksum"] == stacks["hieras"]["owner_checksum"]
+            ),
+            "engines_agree": engines_agree,
+            "memory": hot_state_bytes(bundle),
+            "membership": {
+                "full_rebuilds_during_waves_chord": full_rebuilds_during_waves[0],
+                "full_rebuilds_during_waves_hieras": full_rebuilds_during_waves[1],
+                "incremental_waves_chord": bundle.chord.incremental_waves,
+                "incremental_waves_hieras": bundle.hieras.incremental_waves,
+                "rings_spliced_hieras": bundle.hieras.rings_spliced,
+                "incremental_matches_rebuild": incremental_matches,
+            },
+        }
+        del bundle, trace
+        gc.collect()
+
+    phases["peak_rss"] = {"peak_rss_mb": peak_rss_mb()}
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "full": full,
+            "seed": seed,
+            "sizes": list(sizes),
+            "chunk_size": CHUNK_SIZE,
+        },
+        "phases": phases,
+        "metrics": {"cells": cells},
+    }
+
+
+def write_bench_scale(doc: dict[str, object], out: str | Path) -> Path:
+    """Write one BENCH_scale document as stable, indented JSON."""
+    path = Path(out)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

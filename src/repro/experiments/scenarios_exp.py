@@ -28,6 +28,7 @@ from repro.experiments.config import SimConfig
 from repro.scenarios.runner import run_scenario_cell
 from repro.scenarios.spec import ScenarioParams
 from repro.scenarios.library import scenario_names
+from repro.util.proc import peak_rss_mb
 
 __all__ = [
     "SCHEMA",
@@ -123,6 +124,7 @@ def run_bench_scenarios(
             }
 
     headline = _headline(results, params)
+    phases["peak_rss"] = {"peak_rss_mb": peak_rss_mb()}
     return {
         "schema": SCHEMA,
         "config": {

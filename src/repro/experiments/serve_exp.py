@@ -51,6 +51,7 @@ from repro.loadgen import (
 )
 from repro.replication import ReplicatedStore, ReplicationPolicy
 from repro.serve import DHTService, Request, ServiceConfig
+from repro.util.proc import peak_rss_mb
 
 __all__ = [
     "SCHEMA",
@@ -332,6 +333,7 @@ def run_bench_serve(
         "knee": knee,
     }
 
+    phases["peak_rss"] = {"peak_rss_mb": peak_rss_mb()}
     return {
         "schema": SCHEMA,
         "config": {

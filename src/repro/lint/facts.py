@@ -39,6 +39,7 @@ HOT_MANIFEST: tuple[str, ...] = (
     "repro.engine",
     "repro.cache",
     "repro.core",
+    "repro.scale",
 )
 
 #: Method names that rebuild full routing state, and the singular

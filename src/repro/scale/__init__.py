@@ -1,0 +1,25 @@
+"""Million-peer scale-out: substrate sizing and memory-bounded builds.
+
+The standard experiment runner (:mod:`repro.experiments.runner`) is
+tuned for paper-scale deployments — a few thousand peers, eager latency
+models, a substrate cache.  This package provides the scale variant:
+
+* :func:`scale_ts_params` — transit-stub sizing that keeps per-stub
+  APSP blocks small (≈1 MB) no matter how large the internetwork
+  grows, so the streaming latency model's working set stays bounded;
+* :func:`build_scale_bundle` — the same seeded build pipeline as
+  ``build_bundle`` (identical RNG labels, so small configs reproduce
+  the standard substrates) but uncached and wired to the streaming
+  latency models past the memory threshold;
+* :func:`hot_state_bytes` — the struct-of-arrays memory audit of both
+  routing stacks, reported by ``BENCH_scale.json``.
+
+The routing state itself needs no scale twin: the incremental
+membership layer (``SortedRing.splice`` waves) and interned ring-name
+codes live in the ordinary :mod:`repro.dht` / :mod:`repro.core`
+classes, used by every experiment at every size.
+"""
+
+from repro.scale.bundle import build_scale_bundle, hot_state_bytes, scale_ts_params
+
+__all__ = ["build_scale_bundle", "hot_state_bytes", "scale_ts_params"]

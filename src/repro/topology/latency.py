@@ -16,6 +16,15 @@ Three strategies, all implementing :class:`repro.topology.base.LatencyModel`:
 * :class:`CoordinateLatencyModel` — Euclidean delays from plane
   coordinates; used by synthetic tests and micro-examples.
 
+Million-router topologies don't fit either eager representation, so
+each strategy has a **streaming** twin that answers bit-identical
+queries from an LRU block cache filled by on-demand Dijkstra:
+:class:`StreamingTransitStubLatencyModel` (per-stub blocks on demand;
+border distances from one virtual-source Dijkstra) and
+:class:`StreamingAPSPLatencyModel` (uint16 row blocks on demand).
+:func:`latency_model_for` picks eager vs streaming from the projected
+matrix footprint, so existing small configs keep byte-identical models.
+
 :class:`NoisyLatencyModel` wraps any model with multiplicative
 measurement noise, emulating the paper's observation (§2.2) that *ping*
 is "not very accurate" yet adequate for the binning scheme.
@@ -23,7 +32,10 @@ is "not very accurate" yet adequate for the binning scheme.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
+from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
 from repro.topology.base import LatencyModel, Topology
@@ -33,7 +45,9 @@ from repro.util.validation import require
 
 __all__ = [
     "APSPLatencyModel",
+    "StreamingAPSPLatencyModel",
     "TransitStubLatencyModel",
+    "StreamingTransitStubLatencyModel",
     "CoordinateLatencyModel",
     "NoisyLatencyModel",
     "latency_model_for",
@@ -86,6 +100,72 @@ class APSPLatencyModel(LatencyModel):
 
     def to_targets(self, source: int, targets: np.ndarray) -> np.ndarray:
         return self._matrix[source, np.asarray(targets, dtype=np.int64)].astype(np.float64)
+
+
+class StreamingAPSPLatencyModel(LatencyModel):
+    """APSP delays computed on demand in ``uint16`` row blocks.
+
+    Query-compatible (bit-identical answers) with
+    :class:`APSPLatencyModel` — the same chunked Dijkstra sweeps, the
+    same overflow/disconnection checks, the same rounding — but only
+    ``cache_blocks`` row blocks of ``chunk`` sources each are resident
+    at a time, so general graphs far past the dense matrix's O(n²)
+    memory wall stay queryable.  Peak memory is
+    ``cache_blocks * chunk * n * 2`` bytes of cached rows plus one
+    ``chunk × n`` float64 Dijkstra scratch.
+    """
+
+    def __init__(
+        self, topology: Topology, *, chunk: int = 1024, cache_blocks: int = 64
+    ) -> None:
+        require(chunk >= 1, "chunk must be >= 1")
+        require(cache_blocks >= 1, "cache_blocks must be >= 1")
+        self.n_routers = topology.n_routers
+        self.chunk = int(chunk)
+        self.cache_blocks = int(cache_blocks)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._csr = topology.csr()
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    def _rows(self, block: int) -> np.ndarray:
+        cached = self._cache.get(block)
+        if cached is not None:
+            self._cache.move_to_end(block)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        start = block * self.chunk
+        stop = min(start + self.chunk, self.n_routers)
+        rows = dijkstra(self._csr, directed=False, indices=np.arange(start, stop))
+        if np.isinf(rows).any():
+            raise ValueError("topology is disconnected; latency undefined")
+        require(float(rows.max()) < 65535, "path delay overflows uint16 ms")
+        quantised = np.round(rows).astype(np.uint16)
+        self._cache[block] = quantised
+        if len(self._cache) > self.cache_blocks:
+            self._cache.popitem(last=False)
+        return quantised
+
+    def pair(self, u: int, v: int) -> float:
+        return float(self._rows(u // self.chunk)[u % self.chunk, v])
+
+    def pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        out = np.empty(len(us), dtype=np.float64)
+        blocks = us // self.chunk
+        for block in np.unique(blocks):
+            m = blocks == block
+            rows = self._rows(int(block))
+            out[m] = rows[us[m] % self.chunk, vs[m]]
+        return out
+
+    def to_targets(self, source: int, targets: np.ndarray) -> np.ndarray:
+        rows = self._rows(source // self.chunk)
+        return rows[source % self.chunk, np.asarray(targets, dtype=np.int64)].astype(
+            np.float64
+        )
 
 
 class TransitStubLatencyModel(LatencyModel):
@@ -173,6 +253,140 @@ class TransitStubLatencyModel(LatencyModel):
         return out
 
 
+class StreamingTransitStubLatencyModel(LatencyModel):
+    """Transit-stub latency with per-stub APSP blocks computed on demand.
+
+    Query-compatible (bit-identical answers) with
+    :class:`TransitStubLatencyModel`; the difference is purely where
+    the per-stub blocks live.  The eager model precomputes all
+    ``n_stubs × stub_size²`` float32 entries — at a million stub
+    routers that's tens of GB — while this model keeps:
+
+    * the tiny transit-core APSP (eager, same as before),
+    * every router's distance to its stub's border router, obtained
+      from **one** Dijkstra over the intra-stub edges with a virtual
+      source wired to all border routers (O(E log V) total instead of
+      one Dijkstra per stub), and
+    * an LRU of at most ``cache_blocks`` stub blocks, each computed by
+      exactly the Dijkstra the eager model would have run (so cached
+      answers match bit for bit).
+
+    Cross-stub queries never touch a block — the border distances and
+    core matrix fully determine them — so only same-domain queries pay
+    cache traffic.
+    """
+
+    def __init__(self, topology: TransitStubTopology, *, cache_blocks: int = 64) -> None:
+        require(
+            isinstance(topology, TransitStubTopology),
+            "StreamingTransitStubLatencyModel requires a TransitStubTopology",
+        )
+        require(cache_blocks >= 1, "cache_blocks must be >= 1")
+        self.topology = topology
+        self.cache_blocks = int(cache_blocks)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        n = topology.n_routers
+        n_transit = len(topology.transit_routers)
+        params = topology.params
+
+        full_csr = topology.csr()
+        core = dijkstra(full_csr[:n_transit, :n_transit], directed=False)
+        if np.isinf(core).any():
+            raise ValueError("transit core is disconnected")
+        self._core = core
+
+        dom_of = topology.stub_domain_of
+        is_stub = dom_of >= 0
+        stub_ids = np.flatnonzero(is_stub)
+
+        # Border distances from ONE virtual-source Dijkstra: keep only
+        # intra-stub edges (distinct stubs stay disconnected), add a
+        # virtual node joined to every border router by a weight-1
+        # edge, and subtract the 1 afterwards (delays are integral ms,
+        # so the +1/−1 round trip is exact in float64; a weight-0 edge
+        # would risk being dropped as an implicit sparse zero).
+        coo = full_csr.tocoo()
+        keep = (
+            (dom_of[coo.row] >= 0)
+            & (dom_of[coo.row] == dom_of[coo.col])
+        )
+        borders = topology.border_router_of_domain
+        rows = np.concatenate([coo.row[keep], np.full(len(borders), n, dtype=np.int64)])
+        cols = np.concatenate([coo.col[keep], borders.astype(np.int64)])
+        data = np.concatenate([coo.data[keep], np.ones(len(borders))])
+        virt = csr_matrix((data, (rows, cols)), shape=(n + 1, n + 1))
+        from_virtual = dijkstra(virt, directed=False, indices=n)
+        if np.isinf(from_virtual[stub_ids]).any():
+            bad = int(stub_ids[np.isinf(from_virtual[stub_ids])][0])
+            raise ValueError(
+                f"stub domain {int(dom_of[bad])} is internally disconnected"
+            )
+        self._border_dist = np.zeros(n, dtype=np.float64)
+        # Route through float32 to mirror the eager model's block dtype.
+        self._border_dist[stub_ids] = (
+            (from_virtual[stub_ids] - 1.0).astype(np.float32).astype(np.float64)
+        )
+        self._uplink = np.where(is_stub, params.stub_transit_delay, 0.0)
+        self._gateway = np.arange(n, dtype=np.int64)
+        self._gateway[stub_ids] = topology.gateway_of_domain[dom_of[stub_ids]]
+        self._dom_of = dom_of
+        self._local = topology.local_index
+        self._full_csr = full_csr
+        # Per-domain member slices, precomputed once: ``stub_ids`` is
+        # ascending, so a stable sort by domain keeps each domain's
+        # members in ascending router id — the same order
+        # ``routers_of_domain`` (and hence ``local_index``) uses.
+        order = np.argsort(dom_of[stub_ids], kind="stable")
+        self._members_sorted = stub_ids[order]
+        self._dom_starts = np.searchsorted(
+            dom_of[stub_ids][order], np.arange(topology.n_stub_domains + 1)
+        )
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    def _block(self, dom: int) -> np.ndarray:
+        cached = self._cache.get(dom)
+        if cached is not None:
+            self._cache.move_to_end(dom)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        members = self._members_sorted[self._dom_starts[dom] : self._dom_starts[dom + 1]]
+        sub = self._full_csr[np.ix_(members, members)]
+        block = dijkstra(sub, directed=False)
+        if np.isinf(block).any():
+            raise ValueError(f"stub domain {dom} is internally disconnected")
+        quantised = block.astype(np.float32)
+        self._cache[dom] = quantised
+        if len(self._cache) > self.cache_blocks:
+            self._cache.popitem(last=False)
+        return quantised
+
+    def pair(self, u: int, v: int) -> float:
+        return float(self.pairs(np.asarray([u]), np.asarray([v]))[0])
+
+    def pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        out = (
+            self._border_dist[us]
+            + self._border_dist[vs]
+            + self._uplink[us]
+            + self._uplink[vs]
+            + self._core[self._gateway[us], self._gateway[vs]]
+        )
+        same = np.flatnonzero(
+            (self._dom_of[us] == self._dom_of[vs]) & (self._dom_of[us] >= 0)
+        )
+        if same.size:
+            doms = self._dom_of[us[same]]
+            for dom in np.unique(doms):
+                m = same[doms == dom]
+                block = self._block(int(dom))
+                out[m] = block[self._local[us[m]], self._local[vs[m]]]
+        return out
+
+
 class CoordinateLatencyModel(LatencyModel):
     """Euclidean delays from plane coordinates.
 
@@ -226,18 +440,60 @@ class NoisyLatencyModel(LatencyModel):
         clean = self.inner.pairs(us, vs)
         if self.sigma == 0:
             return clean
-        noise = self._rng.lognormal(mean=0.0, sigma=self.sigma, size=len(clean))
+        noise = self._rng.lognormal(mean=0.0, sigma=self.sigma, size=np.shape(clean))
+        return clean * noise
+
+    def to_targets(self, source: int, targets: np.ndarray) -> np.ndarray:
+        clean = self.inner.to_targets(source, targets)
+        if self.sigma == 0:
+            return clean
+        noise = self._rng.lognormal(mean=0.0, sigma=self.sigma, size=np.shape(clean))
         return clean * noise
 
 
-def latency_model_for(topology: Topology, **kwargs: object) -> LatencyModel:
+def latency_model_for(
+    topology: Topology,
+    *,
+    streaming_threshold_bytes: int = 1 << 30,
+    streaming_cache_bytes: int = 4 << 30,
+    **kwargs: object,
+) -> LatencyModel:
     """Pick the best latency model for a topology.
 
     Transit-stub instances get the exact hierarchical model — unless the
     generator added redundancy edges (extra uplinks / stub-stub links),
     which break its single-uplink precondition; those, and every general
-    graph, get the APSP matrix.
+    graph, get the APSP matrix.  When the eager model's precomputed
+    state would exceed ``streaming_threshold_bytes``, the bit-identical
+    streaming twin is returned instead; every config in the repo's
+    standard sweeps stays under the default 1 GiB threshold, so their
+    models are byte-for-byte what they always were.
+
+    A streaming model's LRU is sized so resident blocks stay under
+    ``streaming_cache_bytes`` (default 4 GiB) — blocks are built on
+    demand, only touched blocks are ever paid for, and the budget is
+    the hard ceiling.  Workloads whose working set fits the budget
+    (e.g. a million-router transit-stub instance: ~2.4 k blocks of
+    ~1 MB) converge to each block computed exactly once; sizing the
+    cache at a fixed small block count instead thrashes — a single
+    65 536-lane routing chunk touches nearly every stub domain every
+    hop, re-running the same Dijkstra thousands of times.
     """
     if isinstance(topology, TransitStubTopology) and not topology.params.has_shortcuts:
+        params = topology.params
+        block_bytes = params.stub_domain_size**2 * 4
+        blocks_bytes = topology.n_stub_domains * block_bytes
+        if blocks_bytes > streaming_threshold_bytes:
+            cache_blocks = max(64, streaming_cache_bytes // max(block_bytes, 1))
+            return StreamingTransitStubLatencyModel(
+                topology, cache_blocks=cache_blocks
+            )
         return TransitStubLatencyModel(topology)
+    if topology.n_routers**2 * 2 > streaming_threshold_bytes:
+        chunk = int(kwargs.pop("chunk", 1024))  # type: ignore[call-overload]
+        row_block_bytes = chunk * topology.n_routers * 2
+        cache_blocks = max(4, streaming_cache_bytes // max(row_block_bytes, 1))
+        return StreamingAPSPLatencyModel(
+            topology, chunk=chunk, cache_blocks=cache_blocks, **kwargs  # type: ignore[arg-type]
+        )
     return APSPLatencyModel(topology, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,33 @@
+"""Process-level measurements shared by the benchmark CLIs.
+
+Every benchmark runner reports its peak resident set size alongside its
+wall-clock phases: memory ceilings are the binding constraint for the
+million-peer scale work, so the number belongs next to the timings in
+every ``BENCH_*.json``.  Peak RSS is inherently machine-dependent, so
+it always goes in the nondeterministic ``phases`` section of a bench
+document, never in the byte-compared ``metrics``.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+__all__ = ["peak_rss_mb"]
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process so far, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; both are
+    normalised to MiB.  Returns 0.0 on platforms without a usable
+    ``getrusage`` so benchmark runners never fail over a metric that is
+    informational only.
+    """
+    try:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        return 0.0
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0

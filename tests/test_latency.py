@@ -10,6 +10,8 @@ from repro.topology.latency import (
     APSPLatencyModel,
     CoordinateLatencyModel,
     NoisyLatencyModel,
+    StreamingAPSPLatencyModel,
+    StreamingTransitStubLatencyModel,
     TransitStubLatencyModel,
     latency_model_for,
 )
@@ -164,3 +166,122 @@ class TestNoisyModel:
     def test_rejects_negative_sigma(self, small_latency):
         with pytest.raises(ValueError):
             NoisyLatencyModel(small_latency, sigma=-0.1)
+
+
+class TestStreamingAPSP:
+    """Streaming row-block APSP ≡ the eager matrix, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def pair_of_models(self):
+        topo = generate_brite(BriteParams(n_nodes=220), seed=3)
+        return APSPLatencyModel(topo), StreamingAPSPLatencyModel(topo, chunk=64), topo
+
+    def test_pairs_bit_identical(self, pair_of_models, rng):
+        eager, streaming, topo = pair_of_models
+        us = rng.integers(0, topo.n_routers, 500)
+        vs = rng.integers(0, topo.n_routers, 500)
+        np.testing.assert_array_equal(eager.pairs(us, vs), streaming.pairs(us, vs))
+
+    def test_pair_and_to_targets_bit_identical(self, pair_of_models):
+        eager, streaming, topo = pair_of_models
+        assert eager.pair(1, 200) == streaming.pair(1, 200)
+        targets = np.arange(0, topo.n_routers, 7)
+        np.testing.assert_array_equal(
+            eager.to_targets(9, targets), streaming.to_targets(9, targets)
+        )
+
+    def test_lru_evicts_and_still_agrees(self, rng):
+        topo = generate_brite(BriteParams(n_nodes=150), seed=4)
+        eager = APSPLatencyModel(topo)
+        tiny = StreamingAPSPLatencyModel(topo, chunk=16, cache_blocks=2)
+        us = rng.integers(0, topo.n_routers, 400)
+        vs = rng.integers(0, topo.n_routers, 400)
+        np.testing.assert_array_equal(eager.pairs(us, vs), tiny.pairs(us, vs))
+        assert tiny.cache_misses > 2  # evictions happened, results unchanged
+        hits = tiny.cache_hits
+        assert tiny.pair(0, 5) == tiny.pair(0, 5)  # same block twice
+        assert tiny.cache_hits > hits
+
+
+class TestStreamingTransitStub:
+    """Streaming per-stub blocks ≡ the eager exact decomposition."""
+
+    @pytest.fixture(scope="class")
+    def pair_of_models(self, small_topology):
+        return (
+            TransitStubLatencyModel(small_topology),
+            StreamingTransitStubLatencyModel(small_topology, cache_blocks=4),
+            small_topology,
+        )
+
+    def test_pairs_bit_identical(self, pair_of_models, rng):
+        eager, streaming, topo = pair_of_models
+        us = rng.integers(0, topo.n_routers, 600)
+        vs = rng.integers(0, topo.n_routers, 600)
+        np.testing.assert_array_equal(eager.pairs(us, vs), streaming.pairs(us, vs))
+
+    def test_same_domain_pairs_bit_identical(self, pair_of_models):
+        """Intra-stub queries take the on-demand Dijkstra block path."""
+        eager, streaming, topo = pair_of_models
+        dom = topo.stub_domain_of
+        for target in range(3):
+            members = np.flatnonzero(dom == target)
+            us = np.repeat(members, len(members))
+            vs = np.tile(members, len(members))
+            np.testing.assert_array_equal(eager.pairs(us, vs), streaming.pairs(us, vs))
+
+    def test_to_targets_bit_identical(self, pair_of_models):
+        eager, streaming, topo = pair_of_models
+        targets = np.arange(0, topo.n_routers, 5)
+        np.testing.assert_array_equal(
+            eager.to_targets(2, targets), streaming.to_targets(2, targets)
+        )
+
+
+class TestStreamingDispatch:
+    def test_zero_threshold_streams(self, small_topology):
+        model = latency_model_for(small_topology, streaming_threshold_bytes=0)
+        assert isinstance(model, StreamingTransitStubLatencyModel)
+        topo = generate_brite(BriteParams(n_nodes=50), seed=1)
+        assert isinstance(
+            latency_model_for(topo, streaming_threshold_bytes=0),
+            StreamingAPSPLatencyModel,
+        )
+
+    def test_default_threshold_keeps_small_models_eager(self, small_topology):
+        assert isinstance(latency_model_for(small_topology), TransitStubLatencyModel)
+
+    def test_cache_budget_sizes_lru(self, small_topology):
+        """cache_blocks is derived from streaming_cache_bytes so the
+        resident-block ceiling is a byte budget, not a fixed count."""
+        block_bytes = small_topology.params.stub_domain_size**2 * 4
+        model = latency_model_for(
+            small_topology,
+            streaming_threshold_bytes=0,
+            streaming_cache_bytes=200 * block_bytes,
+        )
+        assert model.cache_blocks == max(64, 200)
+        topo = generate_brite(BriteParams(n_nodes=64), seed=2)
+        apsp = latency_model_for(
+            topo, streaming_threshold_bytes=0, streaming_cache_bytes=0
+        )
+        assert apsp.cache_blocks == 4  # floor
+
+
+class TestNoisyScalarAndTargets:
+    def test_pair_accepts_scalars(self, small_latency):
+        noisy = NoisyLatencyModel(small_latency, sigma=0.2, seed=5)
+        value = noisy.pair(3, 17)
+        assert isinstance(value, float)
+        assert value >= 0.0
+
+    def test_to_targets_matches_pairs_draws(self, small_latency):
+        """The to_targets override must consume the RNG exactly like the
+        equivalent pairs() call (same draw count, same order)."""
+        targets = np.arange(0, 300, 3)
+        a = NoisyLatencyModel(small_latency, sigma=0.3, seed=8)
+        b = NoisyLatencyModel(small_latency, sigma=0.3, seed=8)
+        np.testing.assert_array_equal(
+            a.to_targets(4, targets),
+            b.pairs(np.full(len(targets), 4), targets),
+        )

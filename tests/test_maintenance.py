@@ -71,21 +71,17 @@ class TestFailPeers:
         assert report["peers_remaining"] == 97.0
         assert net.n_peers == 97
 
-    def test_failure_wave_rebuilds_once(self, monkeypatch):
-        # PERF002 regression: fail_peers used to call remove_peer per
-        # peer, re-deriving every layer's rings once per failure.  The
-        # whole wave must trigger exactly one rebuild.
+    def test_failure_wave_is_incremental(self):
+        # Scale regression: a membership wave used to re-derive every
+        # layer's rings from scratch (one full O(N log N) rebuild per
+        # wave).  Now the whole wave splices only the rings it touches:
+        # no full rebuild at all, one incremental wave applied.
         net = build_hieras(n=100)
-        calls = {"n": 0}
-        original = type(net)._rebuild
-
-        def counting_rebuild(self):
-            calls["n"] += 1
-            return original(self)
-
-        monkeypatch.setattr(type(net), "_rebuild", counting_rebuild)
+        builds_before = net.rebuild_count
+        waves_before = net.incremental_waves
         fail_peers(net, [3, 17, 42, 55, 68])
-        assert calls["n"] == 1
+        assert net.rebuild_count == builds_before
+        assert net.incremental_waves == waves_before + 1
         assert net.n_peers == 95
 
     def test_routing_still_correct_after_failures(self):

@@ -17,9 +17,12 @@ class TestPipeline:
         assert small_doc["schema"] == SCHEMA
         assert set(small_doc["phases"]) == {
             "build", "trace", "chord_routes", "hieras_routes", "protocol_smoke",
+            "peak_rss",
         }
-        for phase in small_doc["phases"].values():
-            assert phase["wall_ms"] >= 0.0
+        assert small_doc["phases"]["peak_rss"]["peak_rss_mb"] > 0.0
+        for name, phase in small_doc["phases"].items():
+            if name != "peak_rss":
+                assert phase["wall_ms"] >= 0.0
         assert set(small_doc["metrics"]) == {"chord", "hieras", "protocol"}
 
     def test_both_stacks_covered(self, small_doc):

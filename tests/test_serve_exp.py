@@ -106,7 +106,10 @@ class TestBenchDocument:
         assert len(doc["metrics"]["sweep"]) == 6  # 3 rates x 2 stacks
 
     def test_phases_are_wall_times(self, doc):
-        assert all("wall_ms" in p for p in doc["phases"].values())
+        assert all(
+            "wall_ms" in p for name, p in doc["phases"].items() if name != "peak_rss"
+        )
+        assert doc["phases"]["peak_rss"]["peak_rss_mb"] > 0.0
 
     def test_knee_shift_present_for_both_stacks(self, doc):
         shift = doc["metrics"]["headline"]["knee_shift"]
